@@ -1,0 +1,114 @@
+// Command rapbench regenerates the paper's evaluation: Table 1 (the
+// percentage decrease in executed cycles of RAP-allocated versus
+// GRA-allocated code over the benchmark suite, for register set sizes 3,
+// 5, 7 and 9) and the ablation studies DESIGN.md calls out.
+//
+// Usage:
+//
+//	rapbench                     # full Table 1
+//	rapbench -only sieve,queens  # subset
+//	rapbench -ablate             # per-phase contribution summary
+//	rapbench -merge-stmts        # region-granularity ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/lower"
+	"repro/internal/regalloc/rap"
+)
+
+func main() {
+	var (
+		only   = flag.String("only", "", "comma-separated benchmark programs (default: all)")
+		ksFlag = flag.String("ks", "3,5,7,9", "register set sizes")
+		merge  = flag.Bool("merge-stmts", false, "merge per-statement regions (ablation)")
+		ablate = flag.Bool("ablate", false, "compare RAP phase ablations")
+		csvOut = flag.String("csv", "", "also write the rows as CSV to this file")
+		suite  = flag.String("suite", "paper", "benchmark set: paper (Table 1 rows) or extended (adds bubble/quick/mm/whetstone/ackermann)")
+	)
+	flag.Parse()
+	ks, err := core.ParseKs(*ksFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var names []string
+	if *only != "" {
+		names = strings.Split(*only, ",")
+	}
+
+	if *ablate {
+		runAblation(ks, names)
+		return
+	}
+
+	progs := bench.Programs()
+	if *suite == "extended" {
+		progs = append(progs, bench.ExtraPrograms()...)
+	} else if *suite != "paper" {
+		fatal(fmt.Errorf("unknown -suite %q", *suite))
+	}
+	cfg := core.CompareConfig{Lower: lower.Options{MergeStatements: *merge}}
+	rows, err := bench.Measure(progs, ks, cfg, names...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(bench.Format(rows, ks))
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(f, rows, ks); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runAblation reports the suite-average percentage decrease under each
+// RAP configuration, quantifying what spill motion (§3.2), the Fig. 6
+// peephole (§3.3) and the per-statement regions contribute.
+func runAblation(ks []int, names []string) {
+	configs := []struct {
+		label string
+		cfg   core.CompareConfig
+	}{
+		{"full RAP (paper)", core.CompareConfig{}},
+		{"no spill motion", core.CompareConfig{RAP: rap.Options{DisableSpillMotion: true}}},
+		{"no peephole", core.CompareConfig{RAP: rap.Options{DisablePeephole: true}}},
+		{"phase 1 only", core.CompareConfig{RAP: rap.Options{DisableSpillMotion: true, DisablePeephole: true}}},
+		{"merged regions", core.CompareConfig{Lower: lower.Options{MergeStatements: true}}},
+		{"GRA + peephole baseline", core.CompareConfig{GRAPeephole: true}},
+		{"coalescing in both (§5)", core.CompareConfig{Coalesce: true}},
+		{"RAP + global cleanup (§5)", core.CompareConfig{RAP: rap.Options{ExtendedPeephole: true}}},
+		{"remat in both (Briggs'92)", core.CompareConfig{Rematerialize: true}},
+	}
+	fmt.Printf("%-26s", "configuration")
+	for _, k := range ks {
+		fmt.Printf(" %8s", fmt.Sprintf("k=%d", k))
+	}
+	fmt.Printf(" %8s\n", "overall")
+	for _, c := range configs {
+		rows, err := bench.Table1(ks, c.cfg, names...)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", c.label, err))
+		}
+		sums := bench.Summarize(rows, ks)
+		fmt.Printf("%-26s", c.label)
+		for _, s := range sums {
+			fmt.Printf(" %8.1f", s.AvgTotal)
+		}
+		fmt.Printf(" %8.1f\n", bench.OverallAverage(sums))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapbench:", err)
+	os.Exit(1)
+}

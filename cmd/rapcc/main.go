@@ -1,0 +1,117 @@
+// Command rapcc compiles a MiniC source file through the reproduction
+// pipeline, optionally allocates registers with RAP or GRA, and runs the
+// result on the counting interpreter.
+//
+// Usage:
+//
+//	rapcc [flags] file.mc
+//
+// Examples:
+//
+//	rapcc -alloc rap -k 5 -stats prog.mc     # allocate with RAP, run, report
+//	rapcc -alloc gra -k 5 -dump prog.mc      # print the allocated iloc
+//	rapcc -compare -ks 3,5,7,9 prog.mc       # per-routine RAP vs GRA table
+//
+// When the program runs, its main return value (masked to 7 bits) becomes
+// rapcc's exit status.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/lower"
+	"repro/internal/regalloc/rap"
+)
+
+func main() {
+	var (
+		alloc    = flag.String("alloc", "none", "register allocator: none, gra, rap, or naive (spill everything)")
+		k        = flag.Int("k", 5, "number of physical registers")
+		dump     = flag.Bool("dump", false, "print the (possibly allocated) iloc code")
+		run      = flag.Bool("run", true, "execute the program")
+		stats    = flag.Bool("stats", false, "print per-routine cycle/load/store/copy counts")
+		compare  = flag.Bool("compare", false, "compare RAP against GRA at the -ks register set sizes")
+		ksFlag   = flag.String("ks", "3,5,7,9", "comma-separated register set sizes for -compare")
+		merge    = flag.Bool("merge-stmts", false, "merge per-statement regions (region granularity ablation)")
+		noMotion = flag.Bool("rap-no-motion", false, "disable RAP's loop spill motion (ablation)")
+		noPeep   = flag.Bool("rap-no-peephole", false, "disable RAP's load/store elimination (ablation)")
+		coalesce = flag.Bool("coalesce", false, "enable conservative coalescing (extension)")
+		remat    = flag.Bool("remat", false, "enable constant rematerialization (extension)")
+		trace    = flag.Bool("trace", false, "print every executed instruction to stderr")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rapcc [flags] file.mc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		K:             *k,
+		Lower:         lower.Options{MergeStatements: *merge},
+		RAP:           rap.Options{DisableSpillMotion: *noMotion, DisablePeephole: *noPeep},
+		Coalesce:      *coalesce,
+		Rematerialize: *remat,
+	}
+
+	if *compare {
+		ks, err := core.ParseKs(*ksFlag)
+		if err != nil {
+			fatal(err)
+		}
+		ms, err := core.Compare(string(src), ks, core.CompareConfig{Lower: cfg.Lower, RAP: cfg.RAP})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-16s %3s %10s %10s %8s %8s %8s\n", "routine", "k", "GRA cyc", "RAP cyc", "tot%", "ld%", "st%")
+		for _, m := range ms {
+			fmt.Printf("%-16s %3d %10d %10d %8.1f %8.1f %8.1f\n",
+				m.Func, m.K, m.GRA.Cycles, m.RAP.Cycles, m.PctTotal(), m.PctLoads(), m.PctStores())
+		}
+		return
+	}
+
+	cfg.Allocator = core.Allocator(*alloc)
+	p, err := core.Compile(string(src), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *dump {
+		fmt.Print(p.String())
+	}
+	if !*run {
+		return
+	}
+	iopts := interp.Options{}
+	if *trace {
+		iopts.Trace = os.Stderr
+	}
+	res, err := interp.Run(p, iopts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, line := range res.Output {
+		fmt.Println(line)
+	}
+	if *stats {
+		fmt.Printf("%-16s %10s %10s %10s %10s\n", "routine", "cycles", "loads", "stores", "copies")
+		for _, name := range res.FuncNames() {
+			s := res.PerFunc[name]
+			fmt.Printf("%-16s %10d %10d %10d %10d\n", name, s.Cycles, s.Loads, s.Stores, s.Copies)
+		}
+		fmt.Printf("%-16s %10d %10d %10d %10d\n", "TOTAL", res.Total.Cycles, res.Total.Loads, res.Total.Stores, res.Total.Copies)
+	}
+	os.Exit(int(res.Ret & 0x7f))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rapcc:", err)
+	os.Exit(1)
+}

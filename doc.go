@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "Register Allocation
+// over the Program Dependence Graph" (Cindy Norris and Lori L. Pollock,
+// PLDI 1994): the RAP hierarchical register allocator, the Chaitin/Briggs
+// baseline it is evaluated against, and the full experimental stack —
+// MiniC front end, iloc-like IR, PDG construction, counting interpreter,
+// and the paper's benchmark suite.
+//
+// Start with the README for a tour; DESIGN.md maps every paper section to
+// a module and EXPERIMENTS.md records paper-vs-measured results for every
+// table and figure. The runnable entry points are:
+//
+//	cmd/rapcc      — compile/run MiniC through either allocator
+//	cmd/pdgdump    — dump PDG / CFG / regions / interference graphs
+//	cmd/rapbench   — regenerate the paper's Table 1 and the ablations
+//	examples/...   — quickstart, Figure 1 PDG, local-spill demo
+//
+// This file only documents the module root; the implementation lives in
+// the internal packages.
+package repro

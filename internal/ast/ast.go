@@ -1,0 +1,443 @@
+// Package ast defines the abstract syntax tree for MiniC programs.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/token"
+)
+
+// Type is a MiniC type.
+type Type int
+
+// MiniC types. Arrays are described by (Elem Type, Len) on declarations.
+const (
+	Void Type = iota
+	Int
+	Float
+)
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+	// TypeOf reports the semantic type; filled in by the checker.
+	TypeOf() Type
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// --- Expressions ---
+
+type exprBase struct {
+	P token.Pos
+	T Type
+}
+
+func (e *exprBase) Pos() token.Pos { return e.P }
+func (e *exprBase) exprNode()      {}
+func (e *exprBase) TypeOf() Type   { return e.T }
+
+// SetType records the checked type of an expression node.
+func (e *exprBase) SetType(t Type) { e.T = t }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// Ident is a reference to a scalar variable.
+type Ident struct {
+	exprBase
+	Name string
+	// Sym is resolved by the checker.
+	Sym *Symbol
+}
+
+// Index is an array element reference a[i].
+type Index struct {
+	exprBase
+	Name  string
+	Sym   *Symbol
+	Index Expr
+}
+
+// Unary is a unary operation (- or !).
+type Unary struct {
+	exprBase
+	Op token.Kind
+	X  Expr
+}
+
+// Binary is a binary operation. For && and || evaluation short-circuits.
+type Binary struct {
+	exprBase
+	Op   token.Kind
+	X, Y Expr
+}
+
+// Call is a function call f(args...). The builtin print(x) is represented
+// as a Call with Name "print".
+type Call struct {
+	exprBase
+	Name string
+	Args []Expr
+	Func *FuncDecl // resolved by the checker; nil for builtins
+}
+
+// Cast is an implicit numeric conversion inserted by the checker.
+type Cast struct {
+	exprBase
+	X Expr
+}
+
+// --- Statements ---
+
+type stmtBase struct{ P token.Pos }
+
+func (s *stmtBase) Pos() token.Pos { return s.P }
+func (s *stmtBase) stmtNode()      {}
+
+// VarDecl declares a scalar or array variable.
+// At top level it is a global; inside a function it is a local.
+type VarDecl struct {
+	stmtBase
+	Name   string
+	Type   Type // element type for arrays
+	IsArr  bool
+	ArrLen int64
+	Init   Expr // optional; scalars only
+	Sym    *Symbol
+}
+
+// Assign assigns to a scalar variable or array element.
+type Assign struct {
+	stmtBase
+	LHS Expr // *Ident or *Index
+	RHS Expr
+}
+
+// ExprStmt evaluates an expression for effect (calls).
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// If is an if/else statement. Else may be nil.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+// While is a while loop.
+type While struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// For is a for loop. Init and Post are optional simple statements
+// (Assign or ExprStmt); Cond is optional (defaults to true).
+type For struct {
+	stmtBase
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// Return returns from the enclosing function. Value may be nil.
+type Return struct {
+	stmtBase
+	Value Expr
+}
+
+// Break exits the innermost loop.
+type Break struct{ stmtBase }
+
+// Continue jumps to the next iteration of the innermost loop.
+type Continue struct{ stmtBase }
+
+// Block is a { ... } statement list.
+type Block struct {
+	stmtBase
+	Stmts []Stmt
+}
+
+// --- Declarations ---
+
+// Param is a function parameter (scalars only).
+type Param struct {
+	Name string
+	Type Type
+	Pos  token.Pos
+	Sym  *Symbol
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *Block
+	P      token.Pos
+}
+
+func (f *FuncDecl) Pos() token.Pos { return f.P }
+
+// Program is a whole MiniC translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// --- Symbols ---
+
+// SymKind distinguishes the storage class of a symbol.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+)
+
+// Symbol is a resolved variable: the checker attaches one to every Ident,
+// Index and VarDecl, and the lowerer attaches storage (a virtual register
+// for scalars, an address for arrays).
+type Symbol struct {
+	Name   string
+	Kind   SymKind
+	Type   Type // element type for arrays
+	IsArr  bool
+	ArrLen int64
+
+	// Storage, assigned during lowering.
+	VReg int   // scalar locals/params: dedicated virtual register
+	Addr int64 // arrays and global scalars: word address or frame offset
+}
+
+// --- Printing (for tests and debugging) ---
+
+// Print renders the program as (approximately) MiniC source.
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, g := range p.Globals {
+		printVarDecl(&b, g, 0)
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "%s %s(", f.Ret, f.Name)
+		for i, prm := range f.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", prm.Type, prm.Name)
+		}
+		b.WriteString(") ")
+		printStmt(&b, f.Body, 0)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func printVarDecl(b *strings.Builder, d *VarDecl, depth int) {
+	indent(b, depth)
+	if d.IsArr {
+		fmt.Fprintf(b, "%s %s[%d];\n", d.Type, d.Name, d.ArrLen)
+		return
+	}
+	fmt.Fprintf(b, "%s %s", d.Type, d.Name)
+	if d.Init != nil {
+		fmt.Fprintf(b, " = %s", ExprString(d.Init))
+	}
+	b.WriteString(";\n")
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	switch s := s.(type) {
+	case *Block:
+		b.WriteString("{\n")
+		for _, inner := range s.Stmts {
+			printStmt(b, inner, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *VarDecl:
+		printVarDecl(b, s, depth)
+	case *Assign:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s = %s;\n", ExprString(s.LHS), ExprString(s.RHS))
+	case *ExprStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "%s;\n", ExprString(s.X))
+	case *If:
+		indent(b, depth)
+		fmt.Fprintf(b, "if (%s) ", ExprString(s.Cond))
+		printStmt(b, s.Then, depth)
+		if s.Else != nil {
+			indent(b, depth)
+			b.WriteString("else ")
+			printStmt(b, s.Else, depth)
+		}
+	case *While:
+		indent(b, depth)
+		fmt.Fprintf(b, "while (%s) ", ExprString(s.Cond))
+		printStmt(b, s.Body, depth)
+	case *For:
+		indent(b, depth)
+		b.WriteString("for (")
+		if s.Init != nil {
+			printSimple(b, s.Init)
+		}
+		b.WriteString("; ")
+		if s.Cond != nil {
+			b.WriteString(ExprString(s.Cond))
+		}
+		b.WriteString("; ")
+		if s.Post != nil {
+			printSimple(b, s.Post)
+		}
+		b.WriteString(") ")
+		printStmt(b, s.Body, depth)
+	case *Return:
+		indent(b, depth)
+		if s.Value != nil {
+			fmt.Fprintf(b, "return %s;\n", ExprString(s.Value))
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *Break:
+		indent(b, depth)
+		b.WriteString("break;\n")
+	case *Continue:
+		indent(b, depth)
+		b.WriteString("continue;\n")
+	default:
+		indent(b, depth)
+		fmt.Fprintf(b, "/* unknown stmt %T */\n", s)
+	}
+}
+
+func printSimple(b *strings.Builder, s Stmt) {
+	switch s := s.(type) {
+	case *Assign:
+		fmt.Fprintf(b, "%s = %s", ExprString(s.LHS), ExprString(s.RHS))
+	case *ExprStmt:
+		b.WriteString(ExprString(s.X))
+	}
+}
+
+// ExprString renders an expression as source text.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *FloatLit:
+		return fmt.Sprintf("%g", e.Value)
+	case *Ident:
+		return e.Name
+	case *Index:
+		return fmt.Sprintf("%s[%s]", e.Name, ExprString(e.Index))
+	case *Unary:
+		return fmt.Sprintf("%s%s", opText(e.Op), ExprString(e.X))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.X), opText(e.Op), ExprString(e.Y))
+	case *Call:
+		var b strings.Builder
+		b.WriteString(e.Name)
+		b.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprString(a))
+		}
+		b.WriteString(")")
+		return b.String()
+	case *Cast:
+		return fmt.Sprintf("(%s)%s", e.TypeOf(), ExprString(e.X))
+	}
+	return fmt.Sprintf("/*%T*/", e)
+}
+
+func opText(k token.Kind) string {
+	switch k {
+	case token.Plus:
+		return "+"
+	case token.Minus:
+		return "-"
+	case token.Star:
+		return "*"
+	case token.Slash:
+		return "/"
+	case token.Percent:
+		return "%"
+	case token.Not:
+		return "!"
+	case token.Lt:
+		return "<"
+	case token.Le:
+		return "<="
+	case token.Gt:
+		return ">"
+	case token.Ge:
+		return ">="
+	case token.EqEq:
+		return "=="
+	case token.NotEq:
+		return "!="
+	case token.AndAnd:
+		return "&&"
+	case token.OrOr:
+		return "||"
+	}
+	return k.String()
+}

@@ -1,0 +1,86 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// TestPrintCoversEveryNode: Print must render every statement and
+// expression form; the output must contain each construct's syntax.
+func TestPrintCoversEveryNode(t *testing.T) {
+	src := `
+int garr[5];
+float gf = 1.5;
+int helper(int a, float b) {
+	if (a > 0 && b < 2.0 || a == -3) {
+		return a % 2;
+	} else {
+		a = -a;
+	}
+	while (a != 0) {
+		a = a - 1;
+		if (a == 1) { break; }
+		if (a == 2) { continue; }
+	}
+	for (a = 0; a < 3; a = a + 1) {
+		garr[a] = helper(a - 1, 0.5) * 2;
+	}
+	float c = b;
+	int d = !a;
+	print(c);
+	return d / 1;
+}
+int main() {
+	return helper(3, 2.5);
+}`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ast.Print(prog)
+	for _, want := range []string{
+		"int garr[5];",
+		"float gf = 1.5;",
+		"int helper(int a, float b)",
+		"if (", "else", "while (", "for (", "break;", "continue;",
+		"return", "print(c);", "garr[a]", "helper(", "&&", "||", "!a", "-a", "%",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("printed program missing %q:\n%s", want, text)
+		}
+	}
+	// The printed text must itself be valid MiniC.
+	if _, err := parser.Parse(text); err != nil {
+		t.Fatalf("printed program does not reparse: %v\n%s", err, text)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	prog, err := parser.Parse(`int main() { int x = (1 + 2) * -3 / (4 % 5); return x; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Func("main").Body.Stmts[0].(*ast.VarDecl)
+	if got := ast.ExprString(d.Init); got != "(((1 + 2) * -3) / (4 % 5))" {
+		t.Errorf("ExprString = %s", got)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if ast.Int.String() != "int" || ast.Float.String() != "float" || ast.Void.String() != "void" {
+		t.Error("type names wrong")
+	}
+}
+
+func TestProgramFunc(t *testing.T) {
+	prog, err := parser.Parse(`int f() { return 1; } int main() { return f(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Func("f") == nil || prog.Func("g") != nil {
+		t.Error("Func lookup wrong")
+	}
+}

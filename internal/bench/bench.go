@@ -1,0 +1,299 @@
+// Package bench contains the paper's benchmark suite — 13 Livermore
+// Loops, the cLinpack routines, heapsort, hanoi, sieve, and Stanford
+// routines (§4) — rewritten in MiniC, plus the harness that regenerates
+// Table 1: the percentage decrease in executed cycles of RAP-allocated
+// versus GRA-allocated code for register set sizes 3, 5, 7 and 9, split
+// into the load and store contributions.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Program is one benchmark program and the routines Table 1 reports on.
+type Program struct {
+	Name   string
+	Source string
+	// Funcs lists the measured routines in the paper's row order.
+	Funcs []string
+}
+
+// Programs returns the full Table 1 suite.
+func Programs() []Program {
+	return []Program{
+		{
+			Name:   "livermore",
+			Source: livermoreSrc,
+			Funcs: []string{
+				"loop1", "loop2", "loop3", "loop4", "loop5", "loop6", "loop7",
+				"loop8", "loop9", "loop10", "loop11", "loop12", "loop13",
+			},
+		},
+		{
+			Name:   "clinpack",
+			Source: linpackSrc,
+			Funcs:  []string{"matgen", "dgefa", "daxpy", "dscal", "idamax", "ddot", "dmxpy"},
+		},
+		{
+			Name:   "hsort",
+			Source: hsortSrc,
+			Funcs:  []string{"hsort", "siftdown"},
+		},
+		{
+			Name:   "hanoi",
+			Source: hanoiSrc,
+			Funcs:  []string{"main", "mov"},
+		},
+		{
+			Name:   "sieve",
+			Source: sieveSrc,
+			Funcs:  []string{"nsieve", "seive"},
+		},
+		{
+			Name:   "perm",
+			Source: permSrc,
+			Funcs:  []string{"permute", "swap", "initialize"},
+		},
+		{
+			Name:   "intmm",
+			Source: intmmSrc,
+			Funcs:  []string{"initmatrix", "innerproduct", "intmm"},
+		},
+		{
+			Name:   "puzzle",
+			Source: puzzleSrc,
+			Funcs:  []string{"fit", "place", "trial", "remove", "puzzle"},
+		},
+		{
+			Name:   "queens",
+			Source: queensSrc,
+			Funcs:  []string{"queens", "try", "doit"},
+		},
+	}
+}
+
+// ProgramByName returns the named program, or nil.
+func ProgramByName(name string) *Program {
+	for _, p := range Programs() {
+		if p.Name == name {
+			return &p
+		}
+	}
+	return nil
+}
+
+// Ks is the paper's register set sizes.
+var Ks = []int{3, 5, 7, 9}
+
+// Row is one Table 1 row: a routine measured at every register set size.
+type Row struct {
+	Program string
+	Func    string
+	ByK     map[int]core.Measurement
+}
+
+// Table1 measures the whole suite (or the subset named in only, if
+// non-empty) and returns the rows in the paper's order.
+func Table1(ks []int, cfg core.CompareConfig, only ...string) ([]Row, error) {
+	return Measure(Programs(), ks, cfg, only...)
+}
+
+// Measure runs the comparison over an arbitrary program set (Programs()
+// for the paper's table, append ExtraPrograms() for the extended suite).
+func Measure(progs []Program, ks []int, cfg core.CompareConfig, only ...string) ([]Row, error) {
+	if len(ks) == 0 {
+		ks = Ks
+	}
+	wanted := map[string]bool{}
+	for _, n := range only {
+		wanted[n] = true
+	}
+	var rows []Row
+	for _, prog := range progs {
+		if len(wanted) > 0 && !wanted[prog.Name] {
+			continue
+		}
+		pcfg := cfg
+		pcfg.Funcs = prog.Funcs
+		ms, err := core.Compare(prog.Source, ks, pcfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", prog.Name, err)
+		}
+		byFunc := map[string]map[int]core.Measurement{}
+		for _, m := range ms {
+			if byFunc[m.Func] == nil {
+				byFunc[m.Func] = map[int]core.Measurement{}
+			}
+			byFunc[m.Func][m.K] = m
+		}
+		for _, fn := range prog.Funcs {
+			if byFunc[fn] == nil {
+				continue
+			}
+			rows = append(rows, Row{Program: prog.Name, Func: fn, ByK: byFunc[fn]})
+		}
+	}
+	return rows, nil
+}
+
+// Summary aggregates a Table 1 run the way the paper's last row and §4
+// prose do.
+type Summary struct {
+	K int
+	// AvgTotal is the average percentage decrease in cycles across rows.
+	AvgTotal float64
+	// AvgLoads / AvgStores are the load and store contributions.
+	AvgLoads  float64
+	AvgStores float64
+	// Wins counts rows with a positive decrease; Rows counts all rows.
+	Wins, Rows int
+}
+
+// Summarize computes per-k averages over the rows.
+func Summarize(rows []Row, ks []int) []Summary {
+	var out []Summary
+	for _, k := range ks {
+		s := Summary{K: k}
+		for _, r := range rows {
+			m, ok := r.ByK[k]
+			if !ok {
+				continue
+			}
+			s.Rows++
+			s.AvgTotal += m.PctTotal()
+			s.AvgLoads += m.PctLoads()
+			s.AvgStores += m.PctStores()
+			if m.PctTotal() > 0 {
+				s.Wins++
+			}
+		}
+		if s.Rows > 0 {
+			s.AvgTotal /= float64(s.Rows)
+			s.AvgLoads /= float64(s.Rows)
+			s.AvgStores /= float64(s.Rows)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// OverallAverage is the paper's single headline number: the mean of the
+// per-k average percentage decreases (the paper reports 2.7).
+func OverallAverage(sums []Summary) float64 {
+	if len(sums) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, s := range sums {
+		t += s.AvgTotal
+	}
+	return t / float64(len(sums))
+}
+
+// Format renders rows in the layout of the paper's Table 1: one row per
+// routine, and per register set size the total/load/store percentage
+// decreases. A blank entry means the routine executed no spill code under
+// either allocator at that k (as in the paper).
+func Format(rows []Row, ks []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-14s", "program", "routine")
+	for _, k := range ks {
+		fmt.Fprintf(&b, " |%21s", fmt.Sprintf("k=%d  tot    ld    st", k))
+	}
+	b.WriteString("\n")
+	width := 27 + len(ks)*23
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	cell := func(m core.Measurement, ok bool) string {
+		// Blank entry when neither allocation contains spill code at
+		// this k, exactly as in the paper's table... except that a
+		// copy-elimination difference still shows (the paper's k=9
+		// column keeps such entries).
+		if !ok || (!m.HasSpillCode() && m.GRA.Cycles == m.RAP.Cycles) {
+			return fmt.Sprintf(" |%21s", "")
+		}
+		return fmt.Sprintf(" |%7.1f%6.1f%6.1f  ", m.PctTotal(), m.PctLoads(), m.PctStores())
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-14s", r.Program, r.Func)
+		for _, k := range ks {
+			m, ok := r.ByK[k]
+			b.WriteString(cell(m, ok))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	sums := Summarize(rows, ks)
+	fmt.Fprintf(&b, "%-27s", "Average")
+	for _, s := range sums {
+		fmt.Fprintf(&b, " |%7.1f%6.1f%6.1f  ", s.AvgTotal, s.AvgLoads, s.AvgStores)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-27s", "Wins (pct > 0)")
+	for _, s := range sums {
+		fmt.Fprintf(&b, " |%14d of %-4d", s.Wins, s.Rows)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "Overall average percentage decrease: %.1f (paper: 2.7)\n", OverallAverage(sums))
+	return b.String()
+}
+
+// WriteCSV emits the Table 1 rows in machine-readable form: one record
+// per (routine, k) with the raw counters and the paper's percentages.
+func WriteCSV(w io.Writer, rows []Row, ks []int) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"program", "routine", "k",
+		"gra_cycles", "gra_loads", "gra_stores", "gra_copies",
+		"rap_cycles", "rap_loads", "rap_stores", "rap_copies",
+		"pct_total", "pct_loads", "pct_stores", "pct_copies",
+		"gra_size", "rap_size", "gra_spill_ops", "rap_spill_ops",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	ii := func(v int64) string { return strconv.FormatInt(v, 10) }
+	for _, r := range rows {
+		for _, k := range ks {
+			m, ok := r.ByK[k]
+			if !ok {
+				continue
+			}
+			rec := []string{
+				r.Program, r.Func, strconv.Itoa(k),
+				ii(m.GRA.Cycles), ii(m.GRA.Loads), ii(m.GRA.Stores), ii(m.GRA.Copies),
+				ii(m.RAP.Cycles), ii(m.RAP.Loads), ii(m.RAP.Stores), ii(m.RAP.Copies),
+				ff(m.PctTotal()), ff(m.PctLoads()), ff(m.PctStores()), ff(m.PctCopies()),
+				strconv.Itoa(m.GRASize), strconv.Itoa(m.RAPSize),
+				strconv.Itoa(m.GRASpillOps), strconv.Itoa(m.RAPSpillOps),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SortRowsByGain orders rows by descending total gain at the given k
+// (a convenience for analysis, not part of the paper's table).
+func SortRowsByGain(rows []Row, k int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		mi, oki := rows[i].ByK[k]
+		mj, okj := rows[j].ByK[k]
+		if !oki || !okj {
+			return oki && !okj
+		}
+		return mi.PctTotal() > mj.PctTotal()
+	})
+}

@@ -1,0 +1,201 @@
+package bench
+
+// Extra benchmark programs beyond the paper's Table 1 rows — the rest of
+// the classic Stanford suite plus two float kernels. They are not part of
+// the headline table (the paper did not measure them) but extend the
+// validation surface: rapbench -suite extended includes them, and the
+// tests run them differentially like everything else.
+
+const bubbleSrc = `
+int sortlist[512];
+int NN = 180;
+
+void bubble() {
+	int top = NN - 1;
+	int i; int t;
+	while (top > 0) {
+		i = 0;
+		while (i < top) {
+			if (sortlist[i] > sortlist[i + 1]) {
+				t = sortlist[i];
+				sortlist[i] = sortlist[i + 1];
+				sortlist[i + 1] = t;
+			}
+			i = i + 1;
+		}
+		top = top - 1;
+	}
+}
+
+int main() {
+	int i;
+	int seed = 74755;
+	for (i = 0; i < NN; i = i + 1) {
+		seed = (seed * 1309 + 13849) % 65536;
+		sortlist[i] = seed - 32768;
+	}
+	bubble();
+	int bad = 0;
+	for (i = 1; i < NN; i = i + 1) {
+		if (sortlist[i - 1] > sortlist[i]) { bad = bad + 1; }
+	}
+	print(bad);
+	print(sortlist[0]);
+	print(sortlist[NN - 1]);
+	return bad;
+}
+`
+
+const quickSrc = `
+int qlist[1024];
+int NN = 600;
+
+// quicksort with explicit bounds (the Stanford Quicksort shape).
+void quicksort(int l, int r) {
+	int i = l;
+	int j = r;
+	int x = qlist[(l + r) / 2];
+	int w;
+	while (i <= j) {
+		while (qlist[i] < x) { i = i + 1; }
+		while (x < qlist[j]) { j = j - 1; }
+		if (i <= j) {
+			w = qlist[i];
+			qlist[i] = qlist[j];
+			qlist[j] = w;
+			i = i + 1;
+			j = j - 1;
+		}
+	}
+	if (l < j) { quicksort(l, j); }
+	if (i < r) { quicksort(i, r); }
+}
+
+int main() {
+	int i;
+	int seed = 74755;
+	for (i = 0; i < NN; i = i + 1) {
+		seed = (seed * 1309 + 13849) % 65536;
+		qlist[i] = seed - 32768;
+	}
+	quicksort(0, NN - 1);
+	int bad = 0;
+	for (i = 1; i < NN; i = i + 1) {
+		if (qlist[i - 1] > qlist[i]) { bad = bad + 1; }
+	}
+	print(bad);
+	print(qlist[0]);
+	print(qlist[NN - 1]);
+	return bad;
+}
+`
+
+const mmSrc = `
+float rma[1024];
+float rmb[1024];
+float rmr[1024];
+int msz = 20;
+
+void rinitmatrix() {
+	int i; int j;
+	int seed = 74755;
+	for (i = 0; i < msz; i = i + 1) {
+		for (j = 0; j < msz; j = j + 1) {
+			seed = (seed * 1309 + 13849) % 65536;
+			rma[i * 32 + j] = (seed - 32768.0) / 16384.0;
+			seed = (seed * 1309 + 13849) % 65536;
+			rmb[i * 32 + j] = (seed - 32768.0) / 16384.0;
+		}
+	}
+}
+
+float rinnerproduct(int row, int col) {
+	float s = 0.0;
+	int k;
+	for (k = 0; k < msz; k = k + 1) {
+		s = s + rma[row * 32 + k] * rmb[k * 32 + col];
+	}
+	return s;
+}
+
+void mm() {
+	int i; int j;
+	for (i = 0; i < msz; i = i + 1) {
+		for (j = 0; j < msz; j = j + 1) {
+			rmr[i * 32 + j] = rinnerproduct(i, j);
+		}
+	}
+}
+
+int main() {
+	rinitmatrix();
+	mm();
+	print(rmr[3 * 32 + 4]);
+	print(rmr[10 * 32 + 15]);
+	return 0;
+}
+`
+
+const whetSrc = `
+float e1[4];
+
+// A Whetstone-flavoured float kernel: module 1 (simple identifiers) and
+// module 2 (array elements) shapes, scaled down.
+void mod1(int n) {
+	int i;
+	float x1 = 1.0; float x2 = -1.0; float x3 = -1.0; float x4 = -1.0;
+	float t = 0.499975;
+	for (i = 0; i < n; i = i + 1) {
+		x1 = (x1 + x2 + x3 - x4) * t;
+		x2 = (x1 + x2 - x3 + x4) * t;
+		x3 = (x1 - x2 + x3 + x4) * t;
+		x4 = (-x1 + x2 + x3 + x4) * t;
+	}
+	e1[0] = x1 + x2 + x3 + x4;
+}
+
+void mod2(int n) {
+	int i;
+	float t = 0.499975;
+	e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+	for (i = 0; i < n; i = i + 1) {
+		e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+		e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+		e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+		e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+	}
+}
+
+int main() {
+	mod1(120);
+	print(e1[0]);
+	mod2(140);
+	print(e1[0] + e1[1] + e1[2] + e1[3]);
+	return 0;
+}
+`
+
+const ackSrc = `
+int ack(int m, int n) {
+	if (m == 0) { return n + 1; }
+	if (n == 0) { return ack(m - 1, 1); }
+	return ack(m - 1, ack(m, n - 1));
+}
+
+int main() {
+	print(ack(2, 4));
+	print(ack(3, 3));
+	return 0;
+}
+`
+
+// ExtraPrograms returns the extended validation suite.
+func ExtraPrograms() []Program {
+	return []Program{
+		{Name: "bubble", Source: bubbleSrc, Funcs: []string{"bubble"}},
+		{Name: "quick", Source: quickSrc, Funcs: []string{"quicksort"}},
+		{Name: "mm", Source: mmSrc, Funcs: []string{"rinitmatrix", "rinnerproduct", "mm"}},
+		{Name: "whetstone", Source: whetSrc, Funcs: []string{"mod1", "mod2"}},
+		{Name: "ackermann", Source: ackSrc, Funcs: []string{"ack"}},
+	}
+}

@@ -1,0 +1,145 @@
+package bench
+
+// The cLinpack routines (Dongarra's Linpack benchmark, C translation),
+// ported to MiniC. Matrices are flattened globals (MiniC functions take
+// scalar parameters only); lda is fixed at N. dgefa factors the matrix
+// using daxpy/idamax/dscal exactly as the original, so all routines are
+// exercised with realistic call patterns.
+const linpackSrc = `
+float aa[1024];   // 32x32 matrix, column-major: aa[col*32 + row]
+float bb[32];
+float dxv[256];
+float dyv[256];
+int ipvt[32];
+int N = 24;
+
+// matgen fills the matrix with a reproducible pattern.
+void matgen() {
+	int i; int j;
+	int init = 1325;
+	for (j = 0; j < N; j = j + 1) {
+		for (i = 0; i < N; i = i + 1) {
+			init = 3125 * init % 65536;
+			aa[j * 32 + i] = (init - 32768.0) / 16384.0;
+		}
+	}
+	for (i = 0; i < N; i = i + 1) { bb[i] = 0.0; }
+	for (j = 0; j < N; j = j + 1) {
+		for (i = 0; i < N; i = i + 1) {
+			bb[i] = bb[i] + aa[j * 32 + i];
+		}
+	}
+}
+
+// daxpy: dy[dyoff..] += da * dx[dxoff..] over nn elements of matrix aa.
+// Offsets address the flattened matrix so dgefa can use column slices.
+void daxpy(int nn, float da, int dxoff, int dyoff) {
+	int i;
+	if (nn <= 0) { return; }
+	if (da == 0.0) { return; }
+	for (i = 0; i < nn; i = i + 1) {
+		aa[dyoff + i] = aa[dyoff + i] + da * aa[dxoff + i];
+	}
+}
+
+// ddot: inner product of two slices of the dx/dy vectors.
+float ddot(int nn, int dxoff, int dyoff) {
+	int i;
+	float dtemp = 0.0;
+	for (i = 0; i < nn; i = i + 1) {
+		dtemp = dtemp + dxv[dxoff + i] * dyv[dyoff + i];
+	}
+	return dtemp;
+}
+
+// dscal: scale a column slice of the matrix.
+void dscal(int nn, float da, int dxoff) {
+	int i;
+	if (nn <= 0) { return; }
+	for (i = 0; i < nn; i = i + 1) {
+		aa[dxoff + i] = da * aa[dxoff + i];
+	}
+}
+
+// idamax: index of element with max absolute value in a column slice.
+int idamax(int nn, int dxoff) {
+	int i; int itemp;
+	float dmax; float mag;
+	if (nn < 1) { return -1; }
+	itemp = 0;
+	dmax = aa[dxoff];
+	if (dmax < 0.0) { dmax = -dmax; }
+	for (i = 1; i < nn; i = i + 1) {
+		mag = aa[dxoff + i];
+		if (mag < 0.0) { mag = -mag; }
+		if (mag > dmax) {
+			itemp = i;
+			dmax = mag;
+		}
+	}
+	return itemp;
+}
+
+// dmxpy: matrix-vector multiply update (simplified cleanup loop form).
+void dmxpy(int n1, int n2) {
+	int i; int j;
+	for (j = 0; j < n2; j = j + 1) {
+		for (i = 0; i < n1; i = i + 1) {
+			dyv[i] = dyv[i] + dxv[j] * aa[j * 32 + i];
+		}
+	}
+}
+
+// dgefa: LU factorization with partial pivoting.
+int dgefa() {
+	int info = 0;
+	int k; int l; int j;
+	float t;
+	int nm1 = N - 1;
+	for (k = 0; k < nm1; k = k + 1) {
+		int colk = k * 32;
+		l = idamax(N - k, colk + k) + k;
+		ipvt[k] = l;
+		if (aa[colk + l] == 0.0) {
+			info = k;
+		} else {
+			if (l != k) {
+				t = aa[colk + l];
+				aa[colk + l] = aa[colk + k];
+				aa[colk + k] = t;
+			}
+			t = -1.0 / aa[colk + k];
+			dscal(nm1 - k, t, colk + k + 1);
+			for (j = k + 1; j < N; j = j + 1) {
+				int colj = j * 32;
+				t = aa[colj + l];
+				if (l != k) {
+					aa[colj + l] = aa[colj + k];
+					aa[colj + k] = t;
+				}
+				daxpy(nm1 - k, t, colk + k + 1, colj + k + 1);
+			}
+		}
+	}
+	ipvt[N - 1] = N - 1;
+	if (aa[(N - 1) * 32 + N - 1] == 0.0) { info = N - 1; }
+	return info;
+}
+
+int main() {
+	int i;
+	matgen();
+	int info = dgefa();
+	for (i = 0; i < 256; i = i + 1) {
+		dxv[i] = 0.5 * (i % 19 + 1);
+		dyv[i] = 0.25 * (i % 23 + 1);
+	}
+	float d = ddot(200, 8, 16);
+	dmxpy(24, 12);
+	print(info);
+	print(d);
+	print(aa[5 * 32 + 7]);
+	print(dyv[11]);
+	return 0;
+}
+`

@@ -1,0 +1,259 @@
+package bench
+
+// The Livermore Loops, rewritten in MiniC. The paper measures 13 of them
+// (Table 1). MiniC has no 2-D arrays or array parameters, so matrices are
+// flattened into global arrays with manual index arithmetic — exactly the
+// address code pdgcc would have produced for C anyway. Problem sizes are
+// scaled down so the whole Table 1 grid interprets quickly; register
+// pressure per iteration (what drives the allocators apart) is preserved.
+const livermoreSrc = `
+// Livermore kernels, MiniC port.
+float x[1024];
+float y[1024];
+float z[1024];
+float u[1024];
+float v[1024];
+float w[1024];
+float px[1024];
+float b2d[1024];   // 32x32 flattened
+float p2d[512];    // 128x4 flattened particles
+int   ix[512];
+int   ir[512];
+
+int n = 100;
+int reps = 8;
+
+void setup() {
+	int i;
+	for (i = 0; i < 1024; i = i + 1) {
+		x[i] = 0.01 * (i % 17 + 1);
+		y[i] = 0.02 * (i % 13 + 1);
+		z[i] = 0.03 * (i % 11 + 1);
+		u[i] = 0.015 * (i % 7 + 1);
+		v[i] = 0.0;
+		w[i] = 0.001 * (i % 5 + 1);
+		px[i] = 0.0;
+		b2d[i] = 0.004 * (i % 9 + 1);
+	}
+	for (i = 0; i < 512; i = i + 1) {
+		p2d[i] = 0.1 * (i % 29 + 1);
+		ix[i] = i % 30 + 1;
+		ir[i] = i % 28 + 1;
+	}
+}
+
+// Kernel 1: hydro fragment.
+void loop1() {
+	int l; int k;
+	float q = 0.5;
+	float r = 4.86;
+	float t = 276.0;
+	for (l = 0; l < reps; l = l + 1) {
+		for (k = 0; k < n; k = k + 1) {
+			x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+		}
+	}
+}
+
+// Kernel 2: incomplete Cholesky conjugate gradient (inner fragment).
+void loop2() {
+	int l; int k; int ipntp; int ipnt; int ii; int i;
+	for (l = 0; l < reps; l = l + 1) {
+		ii = n;
+		ipntp = 0;
+		while (ii > 1) {
+			ipnt = ipntp;
+			ipntp = ipntp + ii;
+			ii = ii / 2;
+			i = ipntp - 1;
+			for (k = ipnt + 1; k < ipntp; k = k + 2) {
+				i = i + 1;
+				x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+			}
+		}
+	}
+}
+
+// Kernel 3: inner product.
+float loop3() {
+	int l; int k;
+	float q = 0.0;
+	for (l = 0; l < reps; l = l + 1) {
+		q = 0.0;
+		for (k = 0; k < n; k = k + 1) {
+			q = q + z[k] * x[k];
+		}
+	}
+	return q;
+}
+
+// Kernel 4: banded linear equations.
+void loop4() {
+	int l; int k; int j; int lw;
+	float temp;
+	for (l = 0; l < reps; l = l + 1) {
+		for (k = 6; k < n; k = k + 5) {
+			lw = k - 6;
+			temp = x[k - 1];
+			for (j = 4; j < n; j = j + 5) {
+				temp = temp - x[lw] * y[j];
+				lw = lw + 1;
+			}
+			x[k - 1] = y[4] * temp;
+		}
+	}
+}
+
+// Kernel 5: tri-diagonal elimination, below diagonal.
+void loop5() {
+	int l; int i;
+	for (l = 0; l < reps; l = l + 1) {
+		for (i = 1; i < n; i = i + 1) {
+			x[i] = z[i] * (y[i] - x[i - 1]);
+		}
+	}
+}
+
+// Kernel 6: general linear recurrence equations.
+void loop6() {
+	int l; int i; int k;
+	for (l = 0; l < reps; l = l + 1) {
+		for (i = 1; i < 32; i = i + 1) {
+			w[i] = 0.0100;
+			for (k = 0; k < i; k = k + 1) {
+				w[i] = w[i] + b2d[k * 32 + i] * w[(i - k) - 1];
+			}
+		}
+	}
+}
+
+// Kernel 7: equation of state fragment.
+void loop7() {
+	int l; int k;
+	float q = 0.5;
+	float r = 4.86;
+	float t = 276.0;
+	for (l = 0; l < reps; l = l + 1) {
+		for (k = 0; k < n; k = k + 1) {
+			x[k] = u[k] + r * (z[k] + r * y[k]) +
+				t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1]) +
+					t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+		}
+	}
+}
+
+// Kernel 8: ADI integration (simplified one-sweep form).
+void loop8() {
+	int l; int kx; int ky;
+	float a11 = 1.01; float a12 = 0.02; float a13 = 0.03;
+	float a21 = 0.04; float a22 = 1.05; float a23 = 0.06;
+	for (l = 0; l < reps; l = l + 1) {
+		for (ky = 1; ky < 30; ky = ky + 1) {
+			for (kx = 1; kx < 30; kx = kx + 1) {
+				u[kx * 32 + ky] = a11 * b2d[kx * 32 + ky]
+					+ a12 * b2d[(kx - 1) * 32 + ky]
+					+ a13 * b2d[(kx + 1) * 32 + ky]
+					+ a21 * b2d[kx * 32 + ky - 1]
+					+ a22 * b2d[kx * 32 + ky + 1]
+					+ a23 * b2d[(kx - 1) * 32 + ky + 1];
+			}
+		}
+	}
+}
+
+// Kernel 9: integrate predictors.
+void loop9() {
+	int l; int i;
+	float dm22 = 0.2; float dm23 = 0.3; float dm24 = 0.4;
+	float dm25 = 0.5; float dm26 = 0.6; float dm27 = 0.7;
+	float dm28 = 0.8; float c0 = 1.1;
+	for (l = 0; l < reps; l = l + 1) {
+		for (i = 0; i < n; i = i + 1) {
+			px[i] = dm28 * px[i + 12] + dm27 * px[i + 11] + dm26 * px[i + 10] +
+				dm25 * px[i + 9] + dm24 * px[i + 8] + dm23 * px[i + 7] +
+				dm22 * px[i + 6] + c0 * (px[i + 4] + px[i + 5]) + px[i + 2];
+		}
+	}
+}
+
+// Kernel 10: difference predictors.
+void loop10() {
+	int l; int i;
+	for (l = 0; l < reps; l = l + 1) {
+		for (i = 0; i < n; i = i + 1) {
+			float ar = px[i * 4];
+			float br = ar - px[i * 4 + 1];
+			px[i * 4 + 1] = ar;
+			float cr = br - px[i * 4 + 2];
+			px[i * 4 + 2] = br;
+			ar = cr - px[i * 4 + 3];
+			px[i * 4 + 3] = cr;
+			px[i * 4] = ar + 0.001;
+		}
+	}
+}
+
+// Kernel 11: first sum.
+void loop11() {
+	int l; int k;
+	for (l = 0; l < reps; l = l + 1) {
+		x[0] = y[0];
+		for (k = 1; k < n; k = k + 1) {
+			x[k] = x[k - 1] + y[k];
+		}
+	}
+}
+
+// Kernel 12: first difference.
+void loop12() {
+	int l; int k;
+	for (l = 0; l < reps; l = l + 1) {
+		for (k = 0; k < n; k = k + 1) {
+			x[k] = y[k + 1] - y[k];
+		}
+	}
+}
+
+// Kernel 13: 2-D particle in cell (simplified).
+void loop13() {
+	int l; int ip; int i1; int j1;
+	for (l = 0; l < reps; l = l + 1) {
+		for (ip = 0; ip < 64; ip = ip + 1) {
+			i1 = ix[ip];
+			j1 = ir[ip];
+			p2d[ip * 4] = p2d[ip * 4] + b2d[j1 * 8 + i1 % 8] * 0.5;
+			p2d[ip * 4 + 1] = p2d[ip * 4 + 1] + p2d[ip * 4] * 0.1;
+			i1 = i1 % 30;
+			j1 = j1 % 28;
+			p2d[ip * 4 + 2] = p2d[ip * 4 + 2] + i1;
+			p2d[ip * 4 + 3] = p2d[ip * 4 + 3] + j1;
+			ix[ip] = i1 + 1;
+			ir[ip] = j1 + 1;
+		}
+	}
+}
+
+int main() {
+	setup();
+	loop1();
+	loop2();
+	float q = loop3();
+	loop4();
+	loop5();
+	loop6();
+	loop7();
+	loop8();
+	loop9();
+	loop10();
+	loop11();
+	loop12();
+	loop13();
+	print(q);
+	print(x[17]);
+	print(w[20]);
+	print(u[40]);
+	print(px[30]);
+	print(p2d[100]);
+	return 0;
+}
+`

@@ -1,0 +1,132 @@
+package bench
+
+// heapsort, hanoi, and the two sieve variants from the paper's suite.
+
+const hsortSrc = `
+int ra[512];
+int NN = 300;
+
+// siftdown re-establishes the heap property for the subtree at l.
+void siftdown(int l, int ir2) {
+	int i = l;
+	int j = l + l;
+	int rra = ra[l];
+	while (j <= ir2) {
+		if (j < ir2) {
+			if (ra[j] < ra[j + 1]) { j = j + 1; }
+		}
+		if (rra < ra[j]) {
+			ra[i] = ra[j];
+			i = j;
+			j = j + j;
+		} else {
+			j = ir2 + 1;
+		}
+	}
+	ra[i] = rra;
+}
+
+void hsort() {
+	int l = NN / 2 + 1;
+	int ir2 = NN;
+	int t;
+	while (l > 1) {
+		l = l - 1;
+		siftdown(l, ir2);
+	}
+	while (ir2 > 1) {
+		t = ra[ir2];
+		ra[ir2] = ra[1];
+		ra[1] = t;
+		ir2 = ir2 - 1;
+		siftdown(1, ir2);
+	}
+}
+
+int main() {
+	int i;
+	int seed = 7774755;
+	for (i = 1; i <= NN; i = i + 1) {
+		seed = (seed * 1309 + 13849) % 65536;
+		ra[i] = seed;
+	}
+	hsort();
+	int bad = 0;
+	for (i = 2; i <= NN; i = i + 1) {
+		if (ra[i - 1] > ra[i]) { bad = bad + 1; }
+	}
+	print(bad);
+	print(ra[1]);
+	print(ra[150]);
+	print(ra[300]);
+	return bad;
+}
+`
+
+const hanoiSrc = `
+int moves = 0;
+int pegs[4];
+
+// mov transfers n disks from peg f to peg t.
+void mov(int n, int f, int t) {
+	int o;
+	if (n == 1) {
+		pegs[f] = pegs[f] - 1;
+		pegs[t] = pegs[t] + 1;
+		moves = moves + 1;
+		return;
+	}
+	o = 6 - (f + t);
+	mov(n - 1, f, o);
+	mov(1, f, t);
+	mov(n - 1, o, t);
+}
+
+int main() {
+	int disks = 10;
+	pegs[1] = disks;
+	pegs[2] = 0;
+	pegs[3] = 0;
+	mov(disks, 1, 3);
+	print(moves);
+	print(pegs[3]);
+	return 0;
+}
+`
+
+const sieveSrc = `
+int flags[8192];
+
+// seive counts primes below sz with the classic flag-crossing loop (the
+// paper spells the routine "seive").
+int seive(int sz) {
+	int i; int prime; int k; int count;
+	count = 0;
+	for (i = 0; i < sz; i = i + 1) { flags[i] = 1; }
+	for (i = 2; i < sz; i = i + 1) {
+		if (flags[i] == 1) {
+			prime = i;
+			for (k = i + prime; k < sz; k = k + prime) {
+				flags[k] = 0;
+			}
+			count = count + 1;
+		}
+	}
+	return count;
+}
+
+// nsieve runs the sieve at several sizes, as in the classic benchmark.
+int nsieve() {
+	int total = 0;
+	total = total + seive(8000);
+	total = total + seive(4000);
+	total = total + seive(2000);
+	return total;
+}
+
+int main() {
+	int total = nsieve();
+	print(total);
+	return 0;
+}
+`

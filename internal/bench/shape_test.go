@@ -1,0 +1,62 @@
+package bench_test
+
+// TestReproductionShape pins the qualitative claims EXPERIMENTS.md makes
+// against the paper, so that a regression in either allocator that flips
+// the comparison is caught by CI:
+//
+//  1. the RAP-vs-GRA win fraction grows with k (paper: 25/37 → 30/37);
+//  2. at k ∈ {7, 9} the suite average is positive (paper: +2.6/+3.7) and
+//     the wins dominate;
+//  3. at large k the ld/st contributions are near zero (gains come from
+//     copy elimination, §4's analysis).
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func TestReproductionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Table 1 grid")
+	}
+	ks := []int{3, 5, 7, 9}
+	rows, err := bench.Table1(ks, core.CompareConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := bench.Summarize(rows, ks)
+	if len(sums) != 4 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	byK := map[int]bench.Summary{}
+	for _, s := range sums {
+		byK[s.K] = s
+	}
+
+	// (1) Win fraction grows from k=3 to k=9.
+	if byK[9].Wins <= byK[3].Wins {
+		t.Errorf("wins should grow with k: k=3 %d, k=9 %d", byK[3].Wins, byK[9].Wins)
+	}
+	// (2) Positive averages and dominant wins at k=7 and k=9.
+	for _, k := range []int{7, 9} {
+		s := byK[k]
+		if s.AvgTotal <= 0 {
+			t.Errorf("k=%d: average %.2f should be positive", k, s.AvgTotal)
+		}
+		if s.Wins*10 < s.Rows*8 { // at least 80% wins
+			t.Errorf("k=%d: wins %d of %d below 80%%", k, s.Wins, s.Rows)
+		}
+	}
+	// (3) Copy-dominated gains at k=9: load/store contributions tiny.
+	if math.Abs(byK[9].AvgLoads) > 1.0 || math.Abs(byK[9].AvgStores) > 1.0 {
+		t.Errorf("k=9 gains should be copy-driven: ld=%.2f st=%.2f",
+			byK[9].AvgLoads, byK[9].AvgStores)
+	}
+	// Sanity: the suite covers at least the paper's routine count.
+	if byK[3].Rows < 37 {
+		t.Errorf("suite has %d routines, paper had 37", byK[3].Rows)
+	}
+}

@@ -1,0 +1,262 @@
+package bench
+
+// The Stanford benchmark routines that appear in Table 1: the Perm,
+// Intmm, Puzzle and Queens programs.
+
+const permSrc = `
+int permarray[11];
+int pctr = 0;
+
+// swap exchanges two elements of the permutation array (the original
+// Swap(&a,&b) passed pointers; MiniC passes indices).
+void swap(int i, int j) {
+	int t = permarray[i];
+	permarray[i] = permarray[j];
+	permarray[j] = t;
+}
+
+void initialize() {
+	int i;
+	for (i = 1; i <= 7; i = i + 1) {
+		permarray[i] = i - 1;
+	}
+}
+
+void permute(int n) {
+	int k;
+	pctr = pctr + 1;
+	if (n != 1) {
+		permute(n - 1);
+		for (k = n - 1; k >= 1; k = k - 1) {
+			swap(n, k);
+			permute(n - 1);
+			swap(n, k);
+		}
+	}
+}
+
+int main() {
+	int i;
+	pctr = 0;
+	for (i = 1; i <= 3; i = i + 1) {
+		initialize();
+		permute(7);
+	}
+	print(pctr);
+	print(permarray[1]);
+	return 0;
+}
+`
+
+const intmmSrc = `
+int ima[1024];
+int imb[1024];
+int imc[1024];
+int rowsize = 32;
+int msize = 20;
+
+// initmatrix fills both operand matrices with a reproducible pattern.
+void initmatrix() {
+	int i; int j; int temp;
+	int seed = 74755;
+	for (i = 0; i < msize; i = i + 1) {
+		for (j = 0; j < msize; j = j + 1) {
+			seed = (seed * 1309 + 13849) % 65536;
+			temp = seed - 32768;
+			ima[i * 32 + j] = temp % 10;
+			seed = (seed * 1309 + 13849) % 65536;
+			temp = seed - 32768;
+			imb[i * 32 + j] = temp % 10;
+		}
+	}
+}
+
+int innerproduct(int row, int col) {
+	int s = 0;
+	int k;
+	for (k = 0; k < msize; k = k + 1) {
+		s = s + ima[row * 32 + k] * imb[k * 32 + col];
+	}
+	return s;
+}
+
+void intmm() {
+	int i; int j;
+	for (i = 0; i < msize; i = i + 1) {
+		for (j = 0; j < msize; j = j + 1) {
+			imc[i * 32 + j] = innerproduct(i, j);
+		}
+	}
+}
+
+int main() {
+	initmatrix();
+	intmm();
+	print(imc[3 * 32 + 4]);
+	print(imc[10 * 32 + 15]);
+	return 0;
+}
+`
+
+// A polyomino-packing version of Baskett's Puzzle: the board is a 4x4
+// cell occupancy array; the pieces are two L-trominoes, three horizontal
+// and two vertical dominoes in three classes. The greedy first-fit order
+// dead-ends, so the fit / place / remove / trial routines exercise the
+// original's full backtracking behaviour (occupancy scans plus recursive
+// trial with removal).
+const puzzleSrc = `
+int p[512];        // 7 pieces x 64 offsets, occupancy masks
+int puzzl[64];
+int class[7];
+int piecemax[7];
+int piececount[3];
+int kount = 0;
+int size = 16;
+
+int fit(int i, int j) {
+	int k;
+	for (k = 0; k <= piecemax[i]; k = k + 1) {
+		if (p[i * 64 + k] == 1) {
+			if (j + k >= size) { return 0; }
+			if (puzzl[j + k] == 1) { return 0; }
+		}
+	}
+	return 1;
+}
+
+int place(int i, int j) {
+	int k;
+	for (k = 0; k <= piecemax[i]; k = k + 1) {
+		if (p[i * 64 + k] == 1) {
+			puzzl[j + k] = 1;
+		}
+	}
+	piececount[class[i]] = piececount[class[i]] - 1;
+	for (k = j; k < size; k = k + 1) {
+		if (puzzl[k] == 0) {
+			return k;
+		}
+	}
+	return 0;
+}
+
+void remove(int i, int j) {
+	int k;
+	for (k = 0; k <= piecemax[i]; k = k + 1) {
+		if (p[i * 64 + k] == 1) {
+			puzzl[j + k] = 0;
+		}
+	}
+	piececount[class[i]] = piececount[class[i]] + 1;
+}
+
+int trial(int j) {
+	int i; int k;
+	kount = kount + 1;
+	for (i = 0; i < 7; i = i + 1) {
+		if (piececount[class[i]] != 0) {
+			if (fit(i, j) == 1) {
+				k = place(i, j);
+				if (k == 0) { return 1; }
+				if (trial(k) == 1) { return 1; }
+				remove(i, j);
+			}
+		}
+	}
+	return 0;
+}
+
+int puzzle() {
+	int i; int k;
+	for (i = 0; i < size; i = i + 1) { puzzl[i] = 0; }
+	for (i = 0; i < 512; i = i + 1) { p[i] = 0; }
+	// Pieces 0..1: L-trominoes (offsets 0, 1, 4), class 0.
+	// Pieces 2..4: horizontal dominoes (offsets 0 and 1), class 1.
+	// Pieces 5..6: vertical dominoes (offsets 0 and 4), class 2.
+	for (i = 0; i < 2; i = i + 1) {
+		class[i] = 0;
+		piecemax[i] = 4;
+		p[i * 64] = 1;
+		p[i * 64 + 1] = 1;
+		p[i * 64 + 4] = 1;
+	}
+	for (i = 2; i < 5; i = i + 1) {
+		class[i] = 1;
+		piecemax[i] = 1;
+		p[i * 64] = 1;
+		p[i * 64 + 1] = 1;
+	}
+	for (i = 5; i < 7; i = i + 1) {
+		class[i] = 2;
+		piecemax[i] = 4;
+		p[i * 64] = 1;
+		p[i * 64 + 4] = 1;
+	}
+	piececount[0] = 2;
+	piececount[1] = 3;
+	piececount[2] = 2;
+	kount = 0;
+	k = trial(0);
+	return k;
+}
+
+int main() {
+	int solved = puzzle();
+	print(solved);
+	print(kount);
+	return 0;
+}
+`
+
+const queensSrc = `
+int qa[9];
+int qb[17];
+int qc[15];
+int xq[9];
+int qcount = 0;
+
+// try places a queen in row i and recurses (the Stanford Try).
+void try(int i) {
+	int j;
+	for (j = 1; j <= 8; j = j + 1) {
+		if (qa[j] == 1 && qb[i + j] == 1 && qc[i - j + 7] == 1) {
+			xq[i] = j;
+			qa[j] = 0;
+			qb[i + j] = 0;
+			qc[i - j + 7] = 0;
+			if (i < 8) {
+				try(i + 1);
+			} else {
+				qcount = qcount + 1;
+			}
+			qa[j] = 1;
+			qb[i + j] = 1;
+			qc[i - j + 7] = 1;
+		}
+	}
+}
+
+// doit solves one full eight-queens instance.
+void doit() {
+	int i;
+	for (i = 1; i <= 8; i = i + 1) { qa[i] = 1; }
+	for (i = 2; i <= 16; i = i + 1) { qb[i] = 1; }
+	for (i = 0; i <= 14; i = i + 1) { qc[i] = 1; }
+	try(1);
+}
+
+// queens repeats the search, as the Stanford driver does.
+void queens() {
+	int rep;
+	for (rep = 0; rep < 2; rep = rep + 1) {
+		qcount = 0;
+		doit();
+	}
+}
+
+int main() {
+	queens();
+	print(qcount);
+	return 0;
+}
+`

@@ -1,0 +1,135 @@
+// Package bitset provides a dense bit set used by the dataflow analyses.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set over the integers [0, n).
+type Set struct {
+	words []uint64
+}
+
+// New returns a set with capacity for n elements.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64)}
+}
+
+// NewBatch returns count independent sets, each with capacity n, carved
+// out of one backing allocation (the dataflow analyses allocate tens of
+// thousands of short-lived sets).
+func NewBatch(count, n int) []*Set {
+	words := (n + 63) / 64
+	backing := make([]uint64, count*words)
+	out := make([]*Set, count)
+	sets := make([]Set, count)
+	for i := range out {
+		sets[i].words = backing[i*words : (i+1)*words : (i+1)*words]
+		out[i] = &sets[i]
+	}
+	return out
+}
+
+// Add inserts i into the set. It panics if i is out of range.
+func (s *Set) Add(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	w := i >> 6
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Copy overwrites s with the contents of t (capacities must match).
+func (s *Set) Copy(t *Set) {
+	copy(s.words, t.words)
+}
+
+// UnionWith adds every element of t to s and reports whether s changed.
+func (s *Set) UnionWith(t *Set) bool {
+	changed := false
+	for i, w := range t.words {
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// DiffWith removes every element of t from s.
+func (s *Set) DiffWith(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// IntersectWith keeps only elements also in t.
+func (s *Set) IntersectWith(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// Equal reports whether s and t hold the same elements.
+func (s *Set) Equal(t *Set) bool {
+	for i, w := range t.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of elements.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	return &Set{words: append([]uint64(nil), s.words...)}
+}
+
+// ForEach calls f for each element in increasing order.
+func (s *Set) ForEach(f func(int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Elems returns the elements in increasing order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}

@@ -1,0 +1,160 @@
+package bitset_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+func TestBasic(t *testing.T) {
+	s := bitset.New(200)
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(199)
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+	for _, i := range []int{0, 63, 64, 199} {
+		if !s.Has(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Has(1) || s.Has(100) {
+		t.Error("phantom members")
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Len() != 3 {
+		t.Error("Remove failed")
+	}
+	want := []int{0, 64, 199}
+	got := s.Elems()
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Error("Clear failed")
+	}
+}
+
+func TestHasOutOfRange(t *testing.T) {
+	s := bitset.New(10)
+	if s.Has(1000) {
+		t.Error("Has beyond capacity should be false")
+	}
+}
+
+// Property: set operations agree with a map-based model.
+func TestAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 130
+		s := bitset.New(n)
+		model := map[int]bool{}
+		for op := 0; op < 200; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(i)
+				model[i] = true
+			case 1:
+				s.Remove(i)
+				delete(model, i)
+			case 2:
+				if s.Has(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		for _, e := range s.Elems() {
+			if !model[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UnionWith/DiffWith/IntersectWith match set algebra.
+func TestSetAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 128
+		a, b := bitset.New(n), bitset.New(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < 60; i++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			a.Add(x)
+			ma[x] = true
+			b.Add(y)
+			mb[y] = true
+		}
+		union := a.Clone()
+		changed := union.UnionWith(b)
+		wantChange := false
+		for y := range mb {
+			if !ma[y] {
+				wantChange = true
+			}
+		}
+		if changed != wantChange {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if union.Has(i) != (ma[i] || mb[i]) {
+				return false
+			}
+		}
+		diff := a.Clone()
+		diff.DiffWith(b)
+		inter := a.Clone()
+		inter.IntersectWith(b)
+		for i := 0; i < n; i++ {
+			if diff.Has(i) != (ma[i] && !mb[i]) {
+				return false
+			}
+			if inter.Has(i) != (ma[i] && mb[i]) {
+				return false
+			}
+		}
+		if !a.Equal(a.Clone()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := bitset.New(300)
+	for _, i := range []int{250, 3, 77, 64, 65} {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{3, 64, 65, 77, 250}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", got, want)
+		}
+	}
+}

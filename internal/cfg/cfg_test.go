@@ -1,0 +1,183 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+func mustParse(t *testing.T, body string) *ir.Function {
+	t.Helper()
+	f, err := ir.ParseFunction("func f params=0 locals=0\n" + body + "\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func build(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	g, err := cfg.Build(mustParse(t, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// diamond is the classic if/else shape:
+//
+//	B0: entry + cbr
+//	B1: then, B2: else, B3: join
+const diamond = `
+	loadI 1 => r1
+	cbr r1 -> LT, LF
+LT:
+	loadI 2 => r2
+	jump -> LEnd
+LF:
+	loadI 3 => r2
+LEnd:
+	print r2
+	ret`
+
+func TestBlocksAndEdges(t *testing.T) {
+	g := build(t, diamond)
+	if len(g.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(g.Blocks))
+	}
+	b0 := g.Blocks[0]
+	if len(b0.Succs) != 2 {
+		t.Errorf("entry should have 2 successors, got %v", b0.Succs)
+	}
+	join := g.Blocks[3]
+	if len(join.Preds) != 2 {
+		t.Errorf("join should have 2 predecessors, got %v", join.Preds)
+	}
+	// Instruction-level successors: the cbr has two, the ret none.
+	if len(g.InstrSuccs[1]) != 2 {
+		t.Errorf("cbr succs = %v", g.InstrSuccs[1])
+	}
+	last := len(g.F.Instrs) - 1
+	if len(g.InstrSuccs[last]) != 0 {
+		t.Errorf("ret should have no successors")
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := build(t, diamond)
+	idom := g.Dominators()
+	// B0 dominates everything; the join's idom is B0 (not a branch arm).
+	if idom[1] != 0 || idom[2] != 0 {
+		t.Errorf("branch arms should be idominated by entry: %v", idom)
+	}
+	if idom[3] != 0 {
+		t.Errorf("join should be idominated by entry, got %d", idom[3])
+	}
+	sets := g.DominatorSets()
+	if !sets[3][0] || sets[3][1] || sets[3][2] {
+		t.Errorf("join dominator set wrong: %v", sets[3])
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	g := build(t, diamond)
+	ipdom := g.PostDominators()
+	// The join postdominates the arms and the entry.
+	if ipdom[1] != 3 || ipdom[2] != 3 {
+		t.Errorf("arms should be ipostdominated by join: %v", ipdom)
+	}
+	if ipdom[0] != 3 {
+		t.Errorf("entry should be ipostdominated by join, got %d", ipdom[0])
+	}
+	// The join's postdominator is the virtual exit.
+	if ipdom[3] != len(g.Blocks) {
+		t.Errorf("join should be ipostdominated by the virtual exit, got %d", ipdom[3])
+	}
+}
+
+const loop = `
+	loadI 0 => r1
+LHead:
+	loadI 10 => r2
+	cmpLT r1, r2 => r3
+	cbr r3 -> LBody, LEnd
+LBody:
+	loadI 1 => r4
+	add r1, r4 => r1
+	jump -> LHead
+LEnd:
+	ret`
+
+func TestLoopCFG(t *testing.T) {
+	g := build(t, loop)
+	if len(g.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(g.Blocks))
+	}
+	head := g.Blocks[1]
+	if len(head.Preds) != 2 {
+		t.Errorf("loop head should have 2 preds (entry + backedge), got %v", head.Preds)
+	}
+	idom := g.Dominators()
+	if idom[2] != 1 || idom[3] != 1 {
+		t.Errorf("head should dominate body and exit: %v", idom)
+	}
+	ipdom := g.PostDominators()
+	if ipdom[2] != 1 {
+		t.Errorf("head should postdominate body, got %d", ipdom[2])
+	}
+}
+
+func TestInstrDominates(t *testing.T) {
+	g := build(t, diamond)
+	sets := g.DominatorSets()
+	// Instruction 0 dominates everything.
+	for i := range g.F.Instrs {
+		if !g.InstrDominates(sets, 0, i) {
+			t.Errorf("instr 0 should dominate %d", i)
+		}
+	}
+	// A then-arm instruction does not dominate the join.
+	thenIdx, joinIdx := 3, 7 // loadI 2 => r2 ; print r2
+	if g.InstrDominates(sets, thenIdx, joinIdx) {
+		t.Error("then arm should not dominate join")
+	}
+	// Within a block, earlier dominates later.
+	if !g.InstrDominates(sets, 0, 1) || g.InstrDominates(sets, 1, 0) {
+		t.Error("intra-block dominance wrong")
+	}
+}
+
+func TestUnknownLabel(t *testing.T) {
+	if _, err := cfg.Build(mustParse(t, "jump -> nowhere\nret")); err == nil {
+		t.Error("expected error for unknown label")
+	}
+}
+
+func TestInfiniteLoopPostDominators(t *testing.T) {
+	// A CFG with no exit still gets a well-formed postdominator tree via
+	// the virtual exit attachment.
+	g := build(t, `
+LHead:
+	loadI 1 => r1
+	cbr r1 -> LHead, LB
+LB:
+	jump -> LHead`)
+	ipdom := g.PostDominators()
+	for b := range g.Blocks {
+		if ipdom[b] == -1 && len(g.Blocks[b].Preds) > 0 {
+			t.Errorf("reachable block %d has no ipostdominator", b)
+		}
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	g := build(t, diamond)
+	rpo := g.ReversePostorder()
+	if rpo[0] != 0 {
+		t.Errorf("RPO should start at entry, got %v", rpo)
+	}
+	if len(rpo) != len(g.Blocks) {
+		t.Errorf("RPO covers %d blocks, want %d", len(rpo), len(g.Blocks))
+	}
+}

@@ -1,0 +1,294 @@
+// Package core is the public face of the reproduction: it wires the MiniC
+// front end, the lowerer, the two register allocators (RAP — the paper's
+// contribution — and the GRA baseline), and the counting interpreter into
+// one pipeline, and computes the paper's evaluation metric.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/peephole"
+	"repro/internal/regalloc"
+	"repro/internal/regalloc/chaitin"
+	"repro/internal/regalloc/naive"
+	"repro/internal/regalloc/rap"
+	"repro/internal/testutil"
+)
+
+// Allocator selects a register allocation strategy.
+type Allocator string
+
+// Available allocators.
+const (
+	// AllocNone leaves the code on virtual registers (unallocated iloc).
+	AllocNone Allocator = "none"
+	// AllocGRA is the baseline: Chaitin's global colouring allocator with
+	// the Briggs optimistic enhancement, no coalescing, no
+	// rematerialization (§4).
+	AllocGRA Allocator = "gra"
+	// AllocRAP is the paper's hierarchical allocator over the PDG.
+	AllocRAP Allocator = "rap"
+	// AllocNaive spills everything — the textbook worst case, used as a
+	// third differential oracle and lower bound.
+	AllocNaive Allocator = "naive"
+)
+
+// Config selects and parameterizes a compilation.
+type Config struct {
+	// Allocator choses the allocation strategy (default AllocNone).
+	Allocator Allocator
+	// K is the physical register set size (required unless AllocNone).
+	K int
+	// Lower configures the front end (region granularity).
+	Lower lower.Options
+	// RAP configures the RAP phases (ablations).
+	RAP rap.Options
+	// GRAPeephole additionally runs RAP's Fig. 6 load/store elimination
+	// after GRA (an ablation; the paper's GRA does not include it).
+	GRAPeephole bool
+	// Coalesce enables conservative coalescing in whichever allocator is
+	// selected (the paper's §5 extension; off in the published
+	// configuration).
+	Coalesce bool
+	// Rematerialize enables constant rematerialization in whichever
+	// allocator is selected (extension; off in the published
+	// configuration).
+	Rematerialize bool
+}
+
+// Compile compiles MiniC source through the configured pipeline.
+func Compile(src string, cfg Config) (*ir.Program, error) {
+	p, err := testutil.Compile(src, cfg.Lower)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Allocator {
+	case "", AllocNone:
+		return p, nil
+	case AllocGRA:
+		for _, f := range p.Funcs {
+			if err := chaitin.Allocate(f, cfg.K, chaitin.Options{Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize}); err != nil {
+				return nil, fmt.Errorf("%s: %w", f.Name, err)
+			}
+			if cfg.GRAPeephole {
+				if _, err := peephole.Run(f); err != nil {
+					return nil, fmt.Errorf("%s: %w", f.Name, err)
+				}
+			}
+			if err := regalloc.CheckPhysical(f); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	case AllocNaive:
+		for _, f := range p.Funcs {
+			if err := naive.Allocate(f, cfg.K); err != nil {
+				return nil, fmt.Errorf("%s: %w", f.Name, err)
+			}
+			if err := regalloc.CheckPhysical(f); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	case AllocRAP:
+		for _, f := range p.Funcs {
+			ropts := cfg.RAP
+			ropts.Coalesce = ropts.Coalesce || cfg.Coalesce
+			ropts.Rematerialize = ropts.Rematerialize || cfg.Rematerialize
+			if err := rap.Allocate(f, cfg.K, ropts); err != nil {
+				return nil, fmt.Errorf("%s: %w", f.Name, err)
+			}
+			if err := regalloc.CheckPhysical(f); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+	return nil, fmt.Errorf("core: unknown allocator %q", cfg.Allocator)
+}
+
+// ParseKs parses a comma-separated list of register set sizes
+// (e.g. "3,5,7,9").
+func ParseKs(s string) ([]int, error) {
+	var ks []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad register count %q", part)
+		}
+		ks = append(ks, n)
+	}
+	return ks, nil
+}
+
+// Run executes a compiled program on the counting interpreter.
+func Run(p *ir.Program) (*interp.Result, error) {
+	return interp.Run(p, interp.Options{})
+}
+
+// Measurement is one routine's executed-instruction statistics under both
+// allocators for one register set size.
+type Measurement struct {
+	Func string
+	K    int
+	GRA  interp.Stats
+	RAP  interp.Stats
+	// GRASpillOps / RAPSpillOps count the *static* spill instructions
+	// (lds/sts) in the allocated routine. The paper leaves a Table 1
+	// entry blank "if the allocated code does not contain spill code";
+	// both being zero reproduces that rule.
+	GRASpillOps int
+	RAPSpillOps int
+	// GRASize / RAPSize count the routine's static instructions after
+	// allocation (labels excluded) — the code-growth side of spilling.
+	GRASize int
+	RAPSize int
+}
+
+// PctTotal is the paper's headline metric for the routine:
+// (cycles(GRA) − cycles(RAP)) / cycles(GRA) × 100.
+func (m Measurement) PctTotal() float64 {
+	if m.GRA.Cycles == 0 {
+		return 0
+	}
+	return float64(m.GRA.Cycles-m.RAP.Cycles) / float64(m.GRA.Cycles) * 100
+}
+
+// PctLoads is the portion of PctTotal due to the change in loads executed.
+func (m Measurement) PctLoads() float64 {
+	if m.GRA.Cycles == 0 {
+		return 0
+	}
+	return float64(m.GRA.Loads-m.RAP.Loads) / float64(m.GRA.Cycles) * 100
+}
+
+// PctStores is the portion due to the change in stores executed.
+func (m Measurement) PctStores() float64 {
+	if m.GRA.Cycles == 0 {
+		return 0
+	}
+	return float64(m.GRA.Stores-m.RAP.Stores) / float64(m.GRA.Cycles) * 100
+}
+
+// PctCopies is the remaining portion, due to the change in copies.
+func (m Measurement) PctCopies() float64 {
+	if m.GRA.Cycles == 0 {
+		return 0
+	}
+	return float64(m.GRA.Copies-m.RAP.Copies) / float64(m.GRA.Cycles) * 100
+}
+
+// HasSpillCode reports whether either allocation *contains* spill code —
+// the paper's rule for leaving a Table 1 entry blank ("if the allocated
+// code does not contain spill code").
+func (m Measurement) HasSpillCode() bool {
+	return m.GRASpillOps+m.RAPSpillOps > 0
+}
+
+// CompareConfig tunes a Compare run.
+type CompareConfig struct {
+	Lower lower.Options
+	RAP   rap.Options
+	// GRAPeephole gives the baseline the Fig. 6 cleanup too (ablation).
+	GRAPeephole bool
+	// Coalesce enables conservative coalescing in BOTH allocators — the
+	// comparison the paper's §5 says it is interested in.
+	Coalesce bool
+	// Rematerialize enables constant rematerialization in BOTH
+	// allocators.
+	Rematerialize bool
+	// Funcs restricts measurement to these routines (nil = all executed).
+	Funcs []string
+}
+
+// staticSpillOps counts lds/sts instructions in a compiled routine.
+func staticSpillOps(f *ir.Function) int {
+	if f == nil {
+		return 0
+	}
+	n := 0
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpLdSpill || in.Op == ir.OpStSpill {
+			n++
+		}
+	}
+	return n
+}
+
+// staticSize counts a routine's non-label instructions.
+func staticSize(f *ir.Function) int {
+	if f == nil {
+		return 0
+	}
+	n := 0
+	for _, in := range f.Instrs {
+		if in.Op != ir.OpLabel {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare compiles src under GRA and RAP for each register set size and
+// measures per-routine executed cycles, loads, stores and copies. It
+// verifies that both allocations preserve the unallocated program's
+// behaviour and returns measurements keyed in the order: for each k, each
+// measured routine sorted by name.
+func Compare(src string, ks []int, cfg CompareConfig) ([]Measurement, error) {
+	ref, err := Compile(src, Config{Lower: cfg.Lower})
+	if err != nil {
+		return nil, err
+	}
+	refRes, err := Run(ref)
+	if err != nil {
+		return nil, fmt.Errorf("unallocated run: %w", err)
+	}
+	var out []Measurement
+	for _, k := range ks {
+		graProg, err := Compile(src, Config{Allocator: AllocGRA, K: k, Lower: cfg.Lower, GRAPeephole: cfg.GRAPeephole, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize})
+		if err != nil {
+			return nil, fmt.Errorf("gra k=%d: %w", k, err)
+		}
+		graRes, err := Run(graProg)
+		if err != nil {
+			return nil, fmt.Errorf("gra k=%d run: %w", k, err)
+		}
+		if err := testutil.SameBehaviour(refRes, graRes); err != nil {
+			return nil, fmt.Errorf("gra k=%d changed behaviour: %w", k, err)
+		}
+		rapProg, err := Compile(src, Config{Allocator: AllocRAP, K: k, Lower: cfg.Lower, RAP: cfg.RAP, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize})
+		if err != nil {
+			return nil, fmt.Errorf("rap k=%d: %w", k, err)
+		}
+		rapRes, err := Run(rapProg)
+		if err != nil {
+			return nil, fmt.Errorf("rap k=%d run: %w", k, err)
+		}
+		if err := testutil.SameBehaviour(refRes, rapRes); err != nil {
+			return nil, fmt.Errorf("rap k=%d changed behaviour: %w", k, err)
+		}
+		names := cfg.Funcs
+		if names == nil {
+			names = graRes.FuncNames()
+		}
+		for _, name := range names {
+			g, r := graRes.PerFunc[name], rapRes.PerFunc[name]
+			if g == nil || r == nil {
+				continue
+			}
+			out = append(out, Measurement{
+				Func: name, K: k, GRA: *g, RAP: *r,
+				GRASpillOps: staticSpillOps(graProg.Func(name)),
+				RAPSpillOps: staticSpillOps(rapProg.Func(name)),
+				GRASize:     staticSize(graProg.Func(name)),
+				RAPSize:     staticSize(rapProg.Func(name)),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+// Package dataflow implements the dataflow analyses the allocators rely
+// on: per-instruction liveness and def-use (reaching definition) chains.
+package dataflow
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// Liveness holds per-instruction live register sets.
+// Registers are indexed by their integer value; index 0 (ir.None) is never
+// set.
+type Liveness struct {
+	// LiveIn[i] is the set of registers live immediately before
+	// instruction i executes.
+	LiveIn []*bitset.Set
+	// LiveOut[i] is the set of registers live immediately after
+	// instruction i executes.
+	LiveOut []*bitset.Set
+	// NumRegs is the register index capacity of the sets.
+	NumRegs int
+}
+
+// ComputeLiveness computes per-instruction liveness for g's function: a
+// block-level backward dataflow fixpoint (UEVar/Kill summaries per basic
+// block) followed by one backward sweep inside each block to fill the
+// per-instruction sets.
+func ComputeLiveness(g *cfg.Graph) *Liveness {
+	f := g.F
+	n := len(f.Instrs)
+	numRegs := int(f.NextReg)
+	batch := bitset.NewBatch(2*n, numRegs)
+	lv := &Liveness{
+		LiveIn:  batch[:n],
+		LiveOut: batch[n:],
+		NumRegs: numRegs,
+	}
+	// Precompute use/def per instruction.
+	uses := make([][]ir.Reg, n)
+	defs := make([]ir.Reg, n)
+	var buf []ir.Reg
+	for i, in := range f.Instrs {
+		buf = in.Uses(buf[:0])
+		uses[i] = append([]ir.Reg(nil), buf...)
+		defs[i] = in.Def()
+	}
+	nb := len(g.Blocks)
+	if nb == 0 {
+		return lv
+	}
+	// Block summaries: ueVar (used before any local kill) and kill.
+	bbatch := bitset.NewBatch(4*nb, numRegs)
+	ueVar := bbatch[:nb]
+	kill := bbatch[nb : 2*nb]
+	blockIn := bbatch[2*nb : 3*nb]
+	blockOut := bbatch[3*nb:]
+	for b, blk := range g.Blocks {
+		for i := blk.Start; i < blk.End; i++ {
+			for _, u := range uses[i] {
+				if !kill[b].Has(int(u)) {
+					ueVar[b].Add(int(u))
+				}
+			}
+			if d := defs[i]; d != ir.None {
+				kill[b].Add(int(d))
+			}
+		}
+	}
+	// Fixpoint over blocks, postorder (reverse of RPO) for fast
+	// convergence on reducible graphs.
+	rpo := g.ReversePostorder()
+	tmp := bitset.New(numRegs)
+	for changed := true; changed; {
+		changed = false
+		for idx := len(rpo) - 1; idx >= 0; idx-- {
+			b := rpo[idx]
+			tmp.Clear()
+			for _, s := range g.Blocks[b].Succs {
+				tmp.UnionWith(blockIn[s])
+			}
+			if !tmp.Equal(blockOut[b]) {
+				blockOut[b].Copy(tmp)
+				changed = true
+			}
+			// in = ueVar ∪ (out − kill)
+			tmp.DiffWith(kill[b])
+			tmp.UnionWith(ueVar[b])
+			if !tmp.Equal(blockIn[b]) {
+				blockIn[b].Copy(tmp)
+				changed = true
+			}
+		}
+	}
+	// Fill per-instruction sets with one backward sweep per block.
+	for b, blk := range g.Blocks {
+		tmp.Copy(blockOut[b])
+		for i := blk.End - 1; i >= blk.Start; i-- {
+			lv.LiveOut[i].Copy(tmp)
+			if d := defs[i]; d != ir.None {
+				tmp.Remove(int(d))
+			}
+			for _, u := range uses[i] {
+				tmp.Add(int(u))
+			}
+			lv.LiveIn[i].Copy(tmp)
+		}
+	}
+	return lv
+}
+
+// DefUse records, for every register, where it is defined and used, and
+// answers which uses each definition reaches. Reaching sets are computed
+// lazily per definition (the allocator only ever asks about the handful
+// of registers it spills) and memoized.
+type DefUse struct {
+	// Defs[r] lists instruction indices that define register r.
+	Defs map[ir.Reg][]int
+	// Uses[r] lists instruction indices that use register r.
+	Uses map[ir.Reg][]int
+
+	g       *cfg.Graph
+	usesAt  [][]ir.Reg
+	defAt   []ir.Reg
+	reached map[defKey][]int
+	visited []bool
+}
+
+type defKey struct {
+	Instr int
+	Reg   ir.Reg
+}
+
+// ComputeDefUse builds def/use site tables for g's function in one scan;
+// reaching queries walk the CFG on demand.
+func ComputeDefUse(g *cfg.Graph) *DefUse {
+	f := g.F
+	n := len(f.Instrs)
+	du := &DefUse{
+		Defs:    map[ir.Reg][]int{},
+		Uses:    map[ir.Reg][]int{},
+		g:       g,
+		usesAt:  make([][]ir.Reg, n),
+		defAt:   make([]ir.Reg, n),
+		reached: map[defKey][]int{},
+		visited: make([]bool, n),
+	}
+	var buf []ir.Reg
+	for i, in := range f.Instrs {
+		buf = in.Uses(buf[:0])
+		for _, u := range buf {
+			dup := false
+			for _, prev := range du.usesAt[i] {
+				if prev == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				du.usesAt[i] = append(du.usesAt[i], u)
+				du.Uses[u] = append(du.Uses[u], i)
+			}
+		}
+		du.defAt[i] = in.Def()
+		if d := du.defAt[i]; d != ir.None {
+			du.Defs[d] = append(du.Defs[d], i)
+		}
+	}
+	return du
+}
+
+// ReachedUses returns the uses reached by the definition of r at
+// instruction d: a forward reachability walk from d that stops at
+// redefinitions of r. Results are memoized.
+func (du *DefUse) ReachedUses(d int, r ir.Reg) []int {
+	key := defKey{d, r}
+	if got, ok := du.reached[key]; ok {
+		return got
+	}
+	for i := range du.visited {
+		du.visited[i] = false
+	}
+	usesReg := func(i int) bool {
+		for _, u := range du.usesAt[i] {
+			if u == r {
+				return true
+			}
+		}
+		return false
+	}
+	var reached []int
+	stack := append([]int(nil), du.g.InstrSuccs[d]...)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if du.visited[i] {
+			continue
+		}
+		du.visited[i] = true
+		if usesReg(i) {
+			reached = append(reached, i)
+		}
+		if du.defAt[i] == r {
+			continue // killed; do not flow past
+		}
+		stack = append(stack, du.g.InstrSuccs[i]...)
+	}
+	sort.Ints(reached)
+	du.reached[key] = reached
+	return reached
+}
+
+// DefReachesUseOutside reports whether the definition of r at instruction
+// d reaches any use at an instruction for which outside returns true.
+func (du *DefUse) DefReachesUseOutside(d int, r ir.Reg, outside func(int) bool) bool {
+	for _, u := range du.ReachedUses(d, r) {
+		if outside(u) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,458 @@
+// Package ig implements the interference graph used by both allocators.
+//
+// A node represents a set of virtual registers that the allocation has
+// decided can share one physical register — initially singletons; RAP's
+// combine step (§3.1.5) merges all same-coloured nodes of a region's graph
+// so that the summary handed to the parent region has at most k nodes.
+package ig
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Node is one interference graph node.
+type Node struct {
+	// Regs holds the member virtual registers, sorted ascending.
+	Regs []ir.Reg
+	// Adj is the set of interfering nodes.
+	Adj map[*Node]bool
+	// SpillCost is the Chaitin-style cost of spilling this node;
+	// math.Inf(1) marks nodes that must not be spilled.
+	SpillCost float64
+	// Color is the assigned colour (1-based) or 0 if uncoloured.
+	Color int
+	// Global marks nodes containing a register that is global to the
+	// region under allocation (referenced outside it). Two global nodes
+	// may never share a colour (§3.1.3).
+	Global bool
+}
+
+// Key is the smallest member register; it identifies the node
+// deterministically within a graph.
+func (n *Node) Key() ir.Reg {
+	if len(n.Regs) == 0 {
+		return ir.None
+	}
+	return n.Regs[0]
+}
+
+// Has reports whether r is a member of the node.
+func (n *Node) Has(r ir.Reg) bool {
+	i := sort.Search(len(n.Regs), func(i int) bool { return n.Regs[i] >= r })
+	return i < len(n.Regs) && n.Regs[i] == r
+}
+
+// Degree is the number of interfering nodes.
+func (n *Node) Degree() int { return len(n.Adj) }
+
+func (n *Node) addReg(r ir.Reg) {
+	i := sort.Search(len(n.Regs), func(i int) bool { return n.Regs[i] >= r })
+	if i < len(n.Regs) && n.Regs[i] == r {
+		return
+	}
+	n.Regs = append(n.Regs, 0)
+	copy(n.Regs[i+1:], n.Regs[i:])
+	n.Regs[i] = r
+}
+
+// Graph is an interference graph.
+type Graph struct {
+	byReg map[ir.Reg]*Node
+	nodes map[*Node]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byReg: map[ir.Reg]*Node{}, nodes: map[*Node]bool{}}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NodeOf returns the node containing r, or nil.
+func (g *Graph) NodeOf(r ir.Reg) *Node { return g.byReg[r] }
+
+// Ensure returns the node containing r, creating a singleton if needed.
+func (g *Graph) Ensure(r ir.Reg) *Node {
+	if n, ok := g.byReg[r]; ok {
+		return n
+	}
+	n := &Node{Regs: []ir.Reg{r}, Adj: map[*Node]bool{}}
+	g.byReg[r] = n
+	g.nodes[n] = true
+	return n
+}
+
+// AddEdge records an interference between the nodes of a and b
+// (creating the nodes if necessary). Self-edges are ignored.
+func (g *Graph) AddEdge(a, b ir.Reg) {
+	na, nb := g.Ensure(a), g.Ensure(b)
+	g.AddNodeEdge(na, nb)
+}
+
+// AddNodeEdge records an interference between two existing nodes.
+func (g *Graph) AddNodeEdge(na, nb *Node) {
+	if na == nb {
+		return
+	}
+	na.Adj[nb] = true
+	nb.Adj[na] = true
+}
+
+// Interferes reports whether registers a and b are in interfering nodes.
+func (g *Graph) Interferes(a, b ir.Reg) bool {
+	na, nb := g.byReg[a], g.byReg[b]
+	if na == nil || nb == nil || na == nb {
+		return false
+	}
+	return na.Adj[nb]
+}
+
+// Nodes returns the nodes sorted by Key for deterministic iteration.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Regs returns all member registers in ascending order.
+func (g *Graph) Regs() []ir.Reg {
+	out := make([]ir.Reg, 0, len(g.byReg))
+	for r := range g.byReg {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Merge folds node b into node a: membership and adjacency are unioned.
+// It is a no-op when a == b.
+func (g *Graph) Merge(a, b *Node) {
+	if a == b {
+		return
+	}
+	for _, r := range b.Regs {
+		a.addReg(r)
+		g.byReg[r] = a
+	}
+	for nb := range b.Adj {
+		delete(nb.Adj, b)
+		if nb != a {
+			nb.Adj[a] = true
+			a.Adj[nb] = true
+		}
+	}
+	a.Global = a.Global || b.Global
+	delete(g.nodes, b)
+}
+
+// AddRegToNode makes r a member of node n. If r already belongs to a
+// different node, the two nodes are merged into n.
+func (g *Graph) AddRegToNode(n *Node, r ir.Reg) {
+	if existing, ok := g.byReg[r]; ok {
+		if existing != n {
+			g.Merge(n, existing)
+		}
+		return
+	}
+	n.addReg(r)
+	g.byReg[r] = n
+}
+
+// Remove deletes node n and its edges from the graph.
+func (g *Graph) Remove(n *Node) {
+	for nb := range n.Adj {
+		delete(nb.Adj, n)
+	}
+	for _, r := range n.Regs {
+		delete(g.byReg, r)
+	}
+	delete(g.nodes, n)
+}
+
+// RenameReg replaces register old with new inside its node (used when RAP
+// renames a spilled register within a subregion, §3.1.4).
+func (g *Graph) RenameReg(old, new ir.Reg) {
+	n, ok := g.byReg[old]
+	if !ok {
+		return
+	}
+	delete(g.byReg, old)
+	for i, r := range n.Regs {
+		if r == old {
+			n.Regs[i] = new
+		}
+	}
+	sort.Slice(n.Regs, func(i, j int) bool { return n.Regs[i] < n.Regs[j] })
+	g.byReg[new] = n
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	cp := New()
+	m := map[*Node]*Node{}
+	for n := range g.nodes {
+		nn := &Node{
+			Regs:      append([]ir.Reg(nil), n.Regs...),
+			Adj:       map[*Node]bool{},
+			SpillCost: n.SpillCost,
+			Color:     n.Color,
+			Global:    n.Global,
+		}
+		m[n] = nn
+		cp.nodes[nn] = true
+		for _, r := range nn.Regs {
+			cp.byReg[r] = nn
+		}
+	}
+	for n := range g.nodes {
+		for a := range n.Adj {
+			m[n].Adj[m[a]] = true
+		}
+	}
+	return cp
+}
+
+// String renders the graph deterministically for tests and debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, n := range g.Nodes() {
+		regs := make([]string, len(n.Regs))
+		for i, r := range n.Regs {
+			regs[i] = r.String()
+		}
+		var adj []string
+		for a := range n.Adj {
+			adj = append(adj, a.Key().String())
+		}
+		sort.Strings(adj)
+		flags := ""
+		if n.Global {
+			flags = " global"
+		}
+		if n.Color != 0 {
+			flags += fmt.Sprintf(" color=%d", n.Color)
+		}
+		fmt.Fprintf(&b, "{%s}%s -- [%s]\n", strings.Join(regs, ","), flags, strings.Join(adj, " "))
+	}
+	return b.String()
+}
+
+// DOT renders the interference graph in Graphviz format: one node per
+// graph node (labelled with its member registers and colour), one
+// undirected edge per interference. Global nodes are drawn with a double
+// border.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph ig_%s {\n", name)
+	b.WriteString("  node [shape=ellipse,fontname=\"monospace\"];\n")
+	idOf := map[*Node]int{}
+	for i, n := range g.Nodes() {
+		idOf[n] = i
+		regs := make([]string, len(n.Regs))
+		for j, r := range n.Regs {
+			regs[j] = r.String()
+		}
+		label := strings.Join(regs, ",")
+		if n.Color != 0 {
+			label += fmt.Sprintf("\\nc%d", n.Color)
+		}
+		attrs := fmt.Sprintf("label=%q", label)
+		if n.Global {
+			attrs += ",peripheries=2"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", i, attrs)
+	}
+	for _, n := range g.Nodes() {
+		for a := range n.Adj {
+			if idOf[n] < idOf[a] {
+				fmt.Fprintf(&b, "  n%d -- n%d;\n", idOf[n], idOf[a])
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Infinity is the spill cost of nodes that must not be spilled (the paper
+// uses 999999; we use +Inf).
+var Infinity = math.Inf(1)
+
+// ColorResult is the outcome of a colouring attempt.
+type ColorResult struct {
+	// Spilled lists nodes that could not be coloured, in the order the
+	// select phase failed on them.
+	Spilled []*Node
+}
+
+// Color colours the graph with at most k colours using simplify/select
+// with the Briggs et al. optimistic improvement: every node is pushed
+// (cheapest-spill-cost first when no trivially colourable node remains),
+// and the spill decision is deferred to the select phase (§3.1.3).
+//
+// When globalsDistinct is set, two Global nodes never receive the same
+// colour even if they do not interfere (RAP's rule for registers live
+// beyond the region).
+//
+// Colours are assigned first-fit — the property the paper credits for
+// RAP's copy elimination (§4).
+func (g *Graph) Color(k int, globalsDistinct bool) ColorResult {
+	removed := map[*Node]bool{}
+	degree := map[*Node]int{}
+	for n := range g.nodes {
+		degree[n] = n.Degree()
+		n.Color = 0
+	}
+	live := len(g.nodes)
+	var stack []*Node
+
+	nodesSorted := g.Nodes()
+	push := func(n *Node) {
+		for a := range n.Adj {
+			if !removed[a] {
+				degree[a]--
+			}
+		}
+		stack = append(stack, n)
+		removed[n] = true
+		live--
+	}
+	for live > 0 {
+		// Remove a trivially colourable node (degree < k; deterministically
+		// the lowest key). When none remains, push the cheapest-spill-cost
+		// node anyway and let the select phase decide (optimistic
+		// colouring) — this ordering is what makes "the nodes with the
+		// most expensive spill cost ... colored first" (§3.1.3).
+		var pick *Node
+		for _, n := range nodesSorted {
+			if !removed[n] && degree[n] < k {
+				pick = n
+				break
+			}
+		}
+		if pick == nil {
+			best := math.Inf(1)
+			for _, n := range nodesSorted {
+				if removed[n] {
+					continue
+				}
+				if pick == nil || n.SpillCost < best {
+					pick = n
+					best = n.SpillCost
+				}
+			}
+		}
+		push(pick)
+	}
+
+	var res ColorResult
+	globalColors := map[int]bool{}
+	for i := len(stack) - 1; i >= 0; i-- {
+		n := stack[i]
+		used := map[int]bool{}
+		for a := range n.Adj {
+			if a.Color != 0 {
+				used[a.Color] = true
+			}
+		}
+		color := 0
+		for c := 1; c <= k; c++ {
+			if used[c] {
+				continue
+			}
+			if globalsDistinct && n.Global && globalColors[c] {
+				continue
+			}
+			color = c
+			break
+		}
+		if color == 0 {
+			res.Spilled = append(res.Spilled, n)
+			continue
+		}
+		n.Color = color
+		if n.Global {
+			globalColors[color] = true
+		}
+	}
+	return res
+}
+
+// Combine merges all same-coloured nodes of a coloured graph into single
+// nodes (§3.1.5), producing a graph with at most k nodes. Uncoloured
+// nodes (spilled ones) are dropped. The colours survive on the combined
+// nodes.
+func (g *Graph) Combine() *Graph {
+	out := New()
+	byColor := map[int]*Node{}
+	for _, n := range g.Nodes() {
+		if n.Color == 0 {
+			continue
+		}
+		target, ok := byColor[n.Color]
+		if !ok {
+			target = &Node{
+				Regs:   append([]ir.Reg(nil), n.Regs...),
+				Adj:    map[*Node]bool{},
+				Color:  n.Color,
+				Global: n.Global,
+			}
+			byColor[n.Color] = target
+			out.nodes[target] = true
+			for _, r := range target.Regs {
+				out.byReg[r] = target
+			}
+		} else {
+			for _, r := range n.Regs {
+				target.addReg(r)
+				out.byReg[r] = target
+			}
+			target.Global = target.Global || n.Global
+		}
+	}
+	// Edges: combined nodes interfere if any members did.
+	for _, n := range g.Nodes() {
+		if n.Color == 0 {
+			continue
+		}
+		for a := range n.Adj {
+			if a.Color == 0 || a.Color == n.Color {
+				continue
+			}
+			out.AddNodeEdge(byColor[n.Color], byColor[a.Color])
+		}
+	}
+	return out
+}
+
+// CheckColoring verifies that the colouring is proper: every node has a
+// colour in [1,k], no adjacent nodes share colours, and (optionally) no
+// two global nodes share a colour.
+func (g *Graph) CheckColoring(k int, globalsDistinct bool) error {
+	globalColors := map[int]*Node{}
+	for _, n := range g.Nodes() {
+		if n.Color < 1 || n.Color > k {
+			return fmt.Errorf("node %s has colour %d outside [1,%d]", n.Key(), n.Color, k)
+		}
+		for a := range n.Adj {
+			if a.Color == n.Color {
+				return fmt.Errorf("adjacent nodes %s and %s share colour %d", n.Key(), a.Key(), n.Color)
+			}
+		}
+		if globalsDistinct && n.Global {
+			if prev, ok := globalColors[n.Color]; ok && prev != n {
+				return fmt.Errorf("global nodes %s and %s share colour %d", prev.Key(), n.Key(), n.Color)
+			}
+			globalColors[n.Color] = n
+		}
+	}
+	return nil
+}

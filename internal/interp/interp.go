@@ -1,0 +1,477 @@
+// Package interp executes IR programs and gathers the execution statistics
+// the paper's evaluation is defined in terms of: cycles (one per
+// instruction), loads, stores, and copies executed, attributed to the
+// function that executed them.
+//
+// The interpreter runs both unallocated code (virtual registers) and
+// allocated code (k physical registers). Frames follow a register-window
+// convention: every activation gets a fresh register file, so a call
+// neither clobbers nor is clobbered by the caller's registers. The same
+// convention applies to both allocators under comparison, keeping the
+// evaluation fair, and mirrors the paper's per-routine measurement setup.
+package interp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Stats counts executed instructions by category.
+type Stats struct {
+	Cycles int64 // every non-label instruction
+	Loads  int64 // ldm + lds
+	Stores int64 // stm + sts
+	Copies int64 // i2i
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Cycles += other.Cycles
+	s.Loads += other.Loads
+	s.Stores += other.Stores
+	s.Copies += other.Copies
+}
+
+// Options configures execution.
+type Options struct {
+	// MaxCycles aborts execution after this many cycles (0 means the
+	// default of 500 million).
+	MaxCycles int64
+	// StackWords is the memory reserved for frames beyond the globals
+	// (0 means the default of 1 << 22).
+	StackWords int64
+	// Trace, when non-nil, receives one line per executed instruction
+	// ("<func>\t<index>\t<instruction>") — a debugging aid; tracing does
+	// not affect the counted statistics.
+	Trace io.Writer
+}
+
+// Result is the outcome of a program run.
+type Result struct {
+	// Output is the sequence of print lines the program produced.
+	Output []string
+	// PerFunc attributes stats to the function that executed each
+	// instruction (exclusive, not inclusive of callees).
+	PerFunc map[string]*Stats
+	// Total sums PerFunc.
+	Total Stats
+	// Ret is main's return value.
+	Ret int64
+}
+
+// FuncNames returns the measured function names in sorted order.
+func (r *Result) FuncNames() []string {
+	names := make([]string, 0, len(r.PerFunc))
+	for n := range r.PerFunc {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+type machine struct {
+	prog     *ir.Program
+	mem      []int64
+	stackTop int64
+	labels   map[*ir.Function]map[string]int
+	res      *Result
+	budget   int64
+	// argStack holds outgoing call arguments pushed by OpArg; OpCall pops
+	// the callee's parameter count (memory-style argument passing, so a
+	// call never needs all arguments in registers at once).
+	argStack []int64
+	trace    io.Writer
+}
+
+// Run executes p starting at main.
+func Run(p *ir.Program, opts Options) (*Result, error) {
+	main := p.Func("main")
+	if main == nil {
+		return nil, fmt.Errorf("interp: program has no main")
+	}
+	if opts.MaxCycles == 0 {
+		opts.MaxCycles = 500_000_000
+	}
+	if opts.StackWords == 0 {
+		opts.StackWords = 1 << 22
+	}
+	m := &machine{
+		prog:     p,
+		mem:      make([]int64, p.GlobalWords+opts.StackWords),
+		stackTop: p.GlobalWords,
+		labels:   map[*ir.Function]map[string]int{},
+		res:      &Result{PerFunc: map[string]*Stats{}},
+		budget:   opts.MaxCycles,
+		trace:    opts.Trace,
+	}
+	for a, v := range p.GlobalInit {
+		m.mem[a] = v
+	}
+	ret, err := m.call(main, nil)
+	if err != nil {
+		return m.res, err
+	}
+	m.res.Ret = ret
+	for _, st := range m.res.PerFunc {
+		m.res.Total.Add(*st)
+	}
+	return m.res, nil
+}
+
+func (m *machine) labelsOf(f *ir.Function) map[string]int {
+	if lm, ok := m.labels[f]; ok {
+		return lm
+	}
+	lm := f.LabelIndex()
+	m.labels[f] = lm
+	return lm
+}
+
+func (m *machine) stats(name string) *Stats {
+	if s, ok := m.res.PerFunc[name]; ok {
+		return s
+	}
+	s := &Stats{}
+	m.res.PerFunc[name] = s
+	return s
+}
+
+func f2b(f float64) int64 { return int64(math.Float64bits(f)) }
+func b2f(b int64) float64 { return math.Float64frombits(uint64(b)) }
+func boolTo(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *machine) call(f *ir.Function, args []int64) (int64, error) {
+	nregs := int(f.NextReg)
+	if f.Allocated {
+		nregs = f.K + 1
+	}
+	regs := make([]int64, nregs)
+	// Validate register operands up front so malformed (or
+	// mis-allocated) code yields an error rather than a panic.
+	var buf []ir.Reg
+	for _, in := range f.Instrs {
+		buf = in.Uses(buf[:0])
+		if d := in.Def(); d != ir.None {
+			buf = append(buf, d)
+		}
+		for _, r := range buf {
+			if int(r) >= nregs {
+				return 0, fmt.Errorf("interp: %s: register %s out of range (%d registers)", f.Name, r, nregs-1)
+			}
+		}
+	}
+	spill := make([]int64, f.SpillSlots)
+	localBase := m.stackTop
+	if localBase+f.LocalWords > int64(len(m.mem)) {
+		return 0, fmt.Errorf("interp: stack overflow in %s", f.Name)
+	}
+	m.stackTop += f.LocalWords
+	defer func() { m.stackTop = localBase }()
+
+	labels := m.labelsOf(f)
+	st := m.stats(f.Name)
+
+	get := func(r ir.Reg) (int64, error) {
+		if int(r) >= len(regs) {
+			return 0, fmt.Errorf("interp: %s: register %s out of range", f.Name, r)
+		}
+		return regs[r], nil
+	}
+	checkAddr := func(a int64) error {
+		if a < 0 || a >= int64(len(m.mem)) {
+			return fmt.Errorf("interp: %s: memory access out of range: %d", f.Name, a)
+		}
+		return nil
+	}
+
+	pc := 0
+	for pc < len(f.Instrs) {
+		in := f.Instrs[pc]
+		if m.trace != nil && in.Op != ir.OpLabel {
+			fmt.Fprintf(m.trace, "%s\t%d\t%s\n", f.Name, pc, in)
+		}
+		if in.Op != ir.OpLabel {
+			st.Cycles++
+			m.budget--
+			if m.budget < 0 {
+				return 0, fmt.Errorf("interp: cycle budget exhausted in %s", f.Name)
+			}
+		}
+		next := pc + 1
+		switch in.Op {
+		case ir.OpLabel:
+			// free
+		case ir.OpLoadI:
+			regs[in.Dst] = in.Imm
+		case ir.OpLoadF:
+			regs[in.Dst] = f2b(in.FImm)
+		case ir.OpLea:
+			regs[in.Dst] = localBase + in.Imm
+		case ir.OpGetParam:
+			if int(in.Imm) >= len(args) {
+				return 0, fmt.Errorf("interp: %s: missing argument %d", f.Name, in.Imm)
+			}
+			regs[in.Dst] = args[in.Imm]
+		case ir.OpAdd, ir.OpSub, ir.OpMult, ir.OpDiv, ir.OpMod,
+			ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE, ir.OpCmpEQ, ir.OpCmpNE:
+			a, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			b, err := get(in.Src2)
+			if err != nil {
+				return 0, err
+			}
+			var v int64
+			switch in.Op {
+			case ir.OpAdd:
+				v = a + b
+			case ir.OpSub:
+				v = a - b
+			case ir.OpMult:
+				v = a * b
+			case ir.OpDiv:
+				if b == 0 {
+					return 0, fmt.Errorf("interp: %s: division by zero", f.Name)
+				}
+				v = a / b
+			case ir.OpMod:
+				if b == 0 {
+					return 0, fmt.Errorf("interp: %s: modulo by zero", f.Name)
+				}
+				v = a % b
+			case ir.OpCmpLT:
+				v = boolTo(a < b)
+			case ir.OpCmpLE:
+				v = boolTo(a <= b)
+			case ir.OpCmpGT:
+				v = boolTo(a > b)
+			case ir.OpCmpGE:
+				v = boolTo(a >= b)
+			case ir.OpCmpEQ:
+				v = boolTo(a == b)
+			case ir.OpCmpNE:
+				v = boolTo(a != b)
+			}
+			regs[in.Dst] = v
+		case ir.OpFAdd, ir.OpFSub, ir.OpFMult, ir.OpFDiv,
+			ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpGT, ir.OpFCmpGE, ir.OpFCmpEQ, ir.OpFCmpNE:
+			ab, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			bb, err := get(in.Src2)
+			if err != nil {
+				return 0, err
+			}
+			a, b := b2f(ab), b2f(bb)
+			switch in.Op {
+			case ir.OpFAdd:
+				regs[in.Dst] = f2b(a + b)
+			case ir.OpFSub:
+				regs[in.Dst] = f2b(a - b)
+			case ir.OpFMult:
+				regs[in.Dst] = f2b(a * b)
+			case ir.OpFDiv:
+				regs[in.Dst] = f2b(a / b)
+			case ir.OpFCmpLT:
+				regs[in.Dst] = boolTo(a < b)
+			case ir.OpFCmpLE:
+				regs[in.Dst] = boolTo(a <= b)
+			case ir.OpFCmpGT:
+				regs[in.Dst] = boolTo(a > b)
+			case ir.OpFCmpGE:
+				regs[in.Dst] = boolTo(a >= b)
+			case ir.OpFCmpEQ:
+				regs[in.Dst] = boolTo(a == b)
+			case ir.OpFCmpNE:
+				regs[in.Dst] = boolTo(a != b)
+			}
+		case ir.OpNeg:
+			a, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = -a
+		case ir.OpFNeg:
+			a, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = f2b(-b2f(a))
+		case ir.OpNot:
+			a, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = boolTo(a == 0)
+		case ir.OpI2I:
+			a, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = a
+			st.Copies++
+		case ir.OpI2F:
+			a, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = f2b(float64(a))
+		case ir.OpF2I:
+			a, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = int64(b2f(a))
+		case ir.OpLoad, ir.OpLoadAI:
+			a, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			a += in.Imm // OpLoad has Imm 0
+			if err := checkAddr(a); err != nil {
+				return 0, err
+			}
+			regs[in.Dst] = m.mem[a]
+			st.Loads++
+		case ir.OpStore, ir.OpStoreAI:
+			v, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			a, err := get(in.Src2)
+			if err != nil {
+				return 0, err
+			}
+			a += in.Imm
+			if err := checkAddr(a); err != nil {
+				return 0, err
+			}
+			m.mem[a] = v
+			st.Stores++
+		case ir.OpLdSpill:
+			if in.Imm < 0 || in.Imm >= int64(len(spill)) {
+				return 0, fmt.Errorf("interp: %s: spill slot %d out of range", f.Name, in.Imm)
+			}
+			regs[in.Dst] = spill[in.Imm]
+			st.Loads++
+		case ir.OpStSpill:
+			v, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			if in.Imm < 0 || in.Imm >= int64(len(spill)) {
+				return 0, fmt.Errorf("interp: %s: spill slot %d out of range", f.Name, in.Imm)
+			}
+			spill[in.Imm] = v
+			st.Stores++
+		case ir.OpCBr:
+			a, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			target := in.Label2
+			if a != 0 {
+				target = in.Label
+			}
+			t, ok := labels[target]
+			if !ok {
+				return 0, fmt.Errorf("interp: %s: unknown label %q", f.Name, target)
+			}
+			next = t
+		case ir.OpJump:
+			t, ok := labels[in.Label]
+			if !ok {
+				return 0, fmt.Errorf("interp: %s: unknown label %q", f.Name, in.Label)
+			}
+			next = t
+		case ir.OpArg:
+			v, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			m.argStack = append(m.argStack, v)
+		case ir.OpCall:
+			callee := m.prog.Func(in.Callee)
+			if callee == nil {
+				return 0, fmt.Errorf("interp: call to unknown function %q", in.Callee)
+			}
+			var vals []int64
+			if len(in.Args) > 0 {
+				// Register-passed arguments (hand-written IR tests).
+				vals = make([]int64, len(in.Args))
+				for i, a := range in.Args {
+					v, err := get(a)
+					if err != nil {
+						return 0, err
+					}
+					vals[i] = v
+				}
+			} else {
+				n := callee.NumParams
+				if len(m.argStack) < n {
+					return 0, fmt.Errorf("interp: call to %s with %d staged arguments, need %d", in.Callee, len(m.argStack), n)
+				}
+				vals = append(vals, m.argStack[len(m.argStack)-n:]...)
+				m.argStack = m.argStack[:len(m.argStack)-n]
+			}
+			rv, err := m.call(callee, vals)
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst != ir.None {
+				regs[in.Dst] = rv
+			}
+		case ir.OpRet:
+			if in.Src1 == ir.None {
+				return 0, nil
+			}
+			return get(in.Src1)
+		case ir.OpPrint:
+			a, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			m.res.Output = append(m.res.Output, strconv.FormatInt(a, 10))
+		case ir.OpFPrint:
+			a, err := get(in.Src1)
+			if err != nil {
+				return 0, err
+			}
+			m.res.Output = append(m.res.Output, formatFloat(b2f(a)))
+		default:
+			return 0, fmt.Errorf("interp: %s: cannot execute %s", f.Name, in)
+		}
+		pc = next
+	}
+	return 0, nil
+}
+
+// formatFloat renders floats deterministically, with a fixed number of
+// significant digits so that the output is stable across evaluation
+// orders.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-inf"
+	}
+	if math.IsNaN(v) {
+		return "nan"
+	}
+	s := strconv.FormatFloat(v, 'g', 12, 64)
+	return strings.TrimSuffix(s, ".0")
+}

@@ -1,0 +1,330 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseProgram parses the textual IR format produced by Program.String.
+// It exists mainly so that tests can be written directly in iloc-style
+// assembly. Functions parsed from text get a trivial region tree (a single
+// entry region owning every instruction) unless tests build one by hand.
+func ParseProgram(src string) (*Program, error) {
+	p := &Program{GlobalInit: map[int64]int64{}}
+	lines := strings.Split(src, "\n")
+	i := 0
+	for i < len(lines) {
+		line := strings.TrimSpace(lines[i])
+		switch {
+		case line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//"):
+			i++
+		case strings.HasPrefix(line, "globals "):
+			n, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, "globals ")), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad globals: %v", i+1, err)
+			}
+			p.GlobalWords = n
+			i++
+		case strings.HasPrefix(line, "init "):
+			var addr, val int64
+			if _, err := fmt.Sscanf(line, "init %d = %d", &addr, &val); err != nil {
+				return nil, fmt.Errorf("line %d: bad init: %v", i+1, err)
+			}
+			p.GlobalInit[addr] = val
+			i++
+		case strings.HasPrefix(line, "func "):
+			f, next, err := parseFunc(lines, i)
+			if err != nil {
+				return nil, err
+			}
+			p.Funcs = append(p.Funcs, f)
+			i = next
+		default:
+			return nil, fmt.Errorf("line %d: unexpected %q", i+1, line)
+		}
+	}
+	return p, nil
+}
+
+// ParseFunction parses a single textual function.
+func ParseFunction(src string) (*Function, error) {
+	p, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Funcs) != 1 {
+		return nil, fmt.Errorf("expected exactly one function, got %d", len(p.Funcs))
+	}
+	return p.Funcs[0], nil
+}
+
+func parseFunc(lines []string, start int) (*Function, int, error) {
+	header := strings.Fields(strings.TrimSpace(lines[start]))
+	f := &Function{Name: header[1]}
+	for _, kv := range header[2:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return nil, 0, fmt.Errorf("line %d: bad header field %q", start+1, kv)
+		}
+		n, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: bad header field %q", start+1, kv)
+		}
+		switch parts[0] {
+		case "params":
+			f.NumParams = int(n)
+		case "locals":
+			f.LocalWords = n
+		case "k":
+			f.K = int(n)
+			f.Allocated = true
+		case "spills":
+			f.SpillSlots = int(n)
+		default:
+			return nil, 0, fmt.Errorf("line %d: unknown header field %q", start+1, parts[0])
+		}
+	}
+	f.ParamFloat = make([]bool, f.NumParams)
+	i := start + 1
+	for ; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if line == "end" {
+			i++
+			break
+		}
+		in, err := parseInstr(line)
+		if err != nil {
+			return nil, 0, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		f.Instrs = append(f.Instrs, in)
+	}
+	// Build the trivial region tree and number registers.
+	f.Regions = &Region{ID: 0, Kind: RegionEntry}
+	f.NumRegions = 1
+	max := Reg(0)
+	for _, in := range f.Instrs {
+		var buf []Reg
+		for _, r := range in.Uses(buf) {
+			if r > max {
+				max = r
+			}
+		}
+		if d := in.Def(); d > max {
+			max = d
+		}
+	}
+	f.NextReg = max + 1
+	return f, i, nil
+}
+
+var opByName = func() map[string]Op {
+	m := map[string]Op{}
+	for o := Op(0); o < NumOps; o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+func parseReg(s string) (Reg, error) {
+	s = strings.TrimSpace(s)
+	if s == "_" {
+		return None, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return None, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n <= 0 {
+		return None, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseInstr(line string) (*Instr, error) {
+	if strings.HasSuffix(line, ":") {
+		name := strings.TrimSuffix(line, ":")
+		if name == "" {
+			return nil, fmt.Errorf("empty label")
+		}
+		return &Instr{Op: OpLabel, Label: name}, nil
+	}
+	mnemonic := line
+	rest := ""
+	if sp := strings.IndexByte(line, ' '); sp >= 0 {
+		mnemonic, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+	}
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return nil, fmt.Errorf("unknown opcode %q", mnemonic)
+	}
+	in := &Instr{Op: op}
+	// Split "operands => dst" if present.
+	lhs, dst := rest, ""
+	if idx := strings.Index(rest, "=>"); idx >= 0 {
+		lhs = strings.TrimSpace(rest[:idx])
+		dst = strings.TrimSpace(rest[idx+2:])
+	}
+	operands := splitOperands(lhs)
+	var err error
+	switch op {
+	case OpLoadI:
+		if in.Imm, err = strconv.ParseInt(operands[0], 10, 64); err != nil {
+			return nil, err
+		}
+		if in.Dst, err = parseReg(dst); err != nil {
+			return nil, err
+		}
+	case OpLoadF:
+		if in.FImm, err = strconv.ParseFloat(operands[0], 64); err != nil {
+			return nil, err
+		}
+		if in.Dst, err = parseReg(dst); err != nil {
+			return nil, err
+		}
+	case OpLea, OpGetParam, OpLdSpill:
+		if in.Imm, err = strconv.ParseInt(operands[0], 10, 64); err != nil {
+			return nil, err
+		}
+		if in.Dst, err = parseReg(dst); err != nil {
+			return nil, err
+		}
+	case OpStSpill:
+		if in.Src1, err = parseReg(operands[0]); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = strconv.ParseInt(dst, 10, 64); err != nil {
+			return nil, err
+		}
+	case OpStore:
+		if in.Src1, err = parseReg(operands[0]); err != nil {
+			return nil, err
+		}
+		if in.Src2, err = parseReg(dst); err != nil {
+			return nil, err
+		}
+	case OpLoadAI:
+		// loadAI r1, imm => dst
+		if in.Src1, err = parseReg(operands[0]); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = strconv.ParseInt(operands[1], 10, 64); err != nil {
+			return nil, err
+		}
+		if in.Dst, err = parseReg(dst); err != nil {
+			return nil, err
+		}
+	case OpStoreAI:
+		// storeAI r1 => r2, imm
+		if in.Src1, err = parseReg(operands[0]); err != nil {
+			return nil, err
+		}
+		dparts := splitOperands(dst)
+		if len(dparts) != 2 {
+			return nil, fmt.Errorf("storeAI needs base, offset")
+		}
+		if in.Src2, err = parseReg(dparts[0]); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = strconv.ParseInt(dparts[1], 10, 64); err != nil {
+			return nil, err
+		}
+	case OpLoad:
+		if in.Src1, err = parseReg(operands[0]); err != nil {
+			return nil, err
+		}
+		if in.Dst, err = parseReg(dst); err != nil {
+			return nil, err
+		}
+	case OpCBr:
+		// cbr r1 -> L1, L2
+		parts := strings.SplitN(rest, "->", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad cbr %q", line)
+		}
+		if in.Src1, err = parseReg(strings.TrimSpace(parts[0])); err != nil {
+			return nil, err
+		}
+		labels := splitOperands(parts[1])
+		if len(labels) != 2 {
+			return nil, fmt.Errorf("cbr needs two labels")
+		}
+		in.Label, in.Label2 = labels[0], labels[1]
+	case OpJump:
+		parts := strings.SplitN(rest, "->", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad jump %q", line)
+		}
+		in.Label = strings.TrimSpace(parts[1])
+	case OpCall:
+		// call name(r1, r2) [=> rd]
+		open := strings.IndexByte(lhs, '(')
+		close := strings.LastIndexByte(lhs, ')')
+		if open < 0 || close < open {
+			return nil, fmt.Errorf("bad call %q", line)
+		}
+		in.Callee = strings.TrimSpace(lhs[:open])
+		for _, a := range splitOperands(lhs[open+1 : close]) {
+			r, err := parseReg(a)
+			if err != nil {
+				return nil, err
+			}
+			in.Args = append(in.Args, r)
+		}
+		if dst != "" {
+			if in.Dst, err = parseReg(dst); err != nil {
+				return nil, err
+			}
+		}
+	case OpRet:
+		if rest != "" {
+			if in.Src1, err = parseReg(rest); err != nil {
+				return nil, err
+			}
+		}
+	case OpPrint, OpFPrint, OpArg:
+		if in.Src1, err = parseReg(rest); err != nil {
+			return nil, err
+		}
+	default:
+		switch {
+		case op.IsBinaryALU():
+			if len(operands) != 2 {
+				return nil, fmt.Errorf("%s needs two operands", op)
+			}
+			if in.Src1, err = parseReg(operands[0]); err != nil {
+				return nil, err
+			}
+			if in.Src2, err = parseReg(operands[1]); err != nil {
+				return nil, err
+			}
+			if in.Dst, err = parseReg(dst); err != nil {
+				return nil, err
+			}
+		case op.IsUnaryALU():
+			if in.Src1, err = parseReg(operands[0]); err != nil {
+				return nil, err
+			}
+			if in.Dst, err = parseReg(dst); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("cannot parse %q", line)
+		}
+	}
+	return in, nil
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

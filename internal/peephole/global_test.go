@@ -1,0 +1,160 @@
+package peephole_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/peephole"
+)
+
+func runGlobal(t *testing.T, body string) ([]string, peephole.Stats) {
+	t.Helper()
+	f, err := ir.ParseFunction("func f params=0 locals=0 spills=8\n" + body + "\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := peephole.RunGlobal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, in := range f.Instrs {
+		out = append(out, in.String())
+	}
+	return out, st
+}
+
+// TestGlobalAcrossBlocks: the block-local pass cannot remove a reload in
+// a successor block; the global pass can.
+func TestGlobalAcrossBlocks(t *testing.T) {
+	body := `
+	lds 2 => r1
+	cbr r1 -> L1, L2
+L1:
+	lds 2 => r1
+	print r1
+	ret
+L2:
+	lds 2 => r3
+	print r3
+	ret`
+	got, st := runGlobal(t, body)
+	if st.LoadsDeleted != 1 {
+		t.Errorf("expected the L1 reload deleted, got %+v\n%s", st, strings.Join(got, "\n"))
+	}
+	if st.LoadsToCopies != 1 {
+		t.Errorf("expected the L2 reload to become a copy, got %+v\n%s", st, strings.Join(got, "\n"))
+	}
+}
+
+// TestGlobalMeetIsIntersection: a binding valid on only one path into a
+// join must not justify elimination.
+func TestGlobalMeetIsIntersection(t *testing.T) {
+	body := `
+	loadI 1 => r2
+	cbr r2 -> L1, L2
+L1:
+	lds 3 => r1
+	jump -> LEnd
+L2:
+	loadI 9 => r1
+LEnd:
+	lds 3 => r1
+	print r1
+	ret`
+	got, st := runGlobal(t, body)
+	if st.LoadsDeleted != 0 || st.LoadsToCopies != 0 {
+		t.Errorf("eliminated a load that is not available on all paths: %+v\n%s",
+			st, strings.Join(got, "\n"))
+	}
+}
+
+// TestGlobalLoopCarried: a load in a loop header fed by both the entry
+// and the back edge is removable only if the binding survives the body.
+func TestGlobalLoopCarried(t *testing.T) {
+	// Body does not touch r1 or slot 4: the reload each iteration is
+	// redundant after the first.
+	clean := `
+	lds 4 => r1
+LHead:
+	lds 4 => r1
+	print r1
+	loadI 1 => r2
+	cbr r2 -> LHead, LEnd
+LEnd:
+	ret`
+	_, st := runGlobal(t, clean)
+	if st.LoadsDeleted != 1 {
+		t.Errorf("loop-invariant reload should be deleted: %+v", st)
+	}
+	// Body clobbers r1: reload required.
+	dirty := `
+	lds 4 => r1
+LHead:
+	lds 4 => r1
+	print r1
+	loadI 7 => r1
+	cbr r1 -> LHead, LEnd
+LEnd:
+	ret`
+	_, st = runGlobal(t, dirty)
+	if st.LoadsDeleted != 0 {
+		t.Errorf("clobbered binding must force the reload: %+v", st)
+	}
+}
+
+// TestGlobalStoreElimination: storing a value the slot already holds is
+// removable even across blocks.
+func TestGlobalStoreElimination(t *testing.T) {
+	body := `
+	loadI 5 => r1
+	sts r1 => 0
+	loadI 1 => r2
+	cbr r2 -> L1, L2
+L1:
+	sts r1 => 0
+	print r1
+	ret
+L2:
+	ret`
+	_, st := runGlobal(t, body)
+	if st.StoresDeleted != 1 {
+		t.Errorf("redundant store across blocks should be deleted: %+v", st)
+	}
+}
+
+// TestGlobalSubsumesLocal: on straight-line code the global pass finds at
+// least everything the Fig. 6 pass finds.
+func TestGlobalSubsumesLocal(t *testing.T) {
+	body := `
+	lds 20 => r2
+	add r2, r2 => r1
+	lds 20 => r3
+	sts r3 => 20
+	lds 20 => r2
+	print r1
+	print r2
+	ret`
+	mk := func() *ir.Function {
+		f, err := ir.ParseFunction("func f params=0 locals=0 spills=32\n" + body + "\nend\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	fLocal, fGlobal := mk(), mk()
+	stLocal, err := peephole.Run(fLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stGlobal, err := peephole.RunGlobal(fGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localWins := stLocal.LoadsDeleted + stLocal.LoadsToCopies + stLocal.StoresDeleted
+	globalWins := stGlobal.LoadsDeleted + stGlobal.LoadsToCopies + stGlobal.StoresDeleted
+	if globalWins < localWins {
+		t.Errorf("global pass weaker than local: %+v vs %+v", stGlobal, stLocal)
+	}
+}

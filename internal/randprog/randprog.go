@@ -1,0 +1,350 @@
+// Package randprog generates random — but deterministic, terminating and
+// well-defined — MiniC programs for differential testing of the register
+// allocators: the same program must produce the same output under virtual
+// registers, GRA and RAP at every register set size.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// MaxFuncs is the number of helper functions besides main (0-3).
+	MaxFuncs int
+	// MaxStmtsPerBlock bounds block length.
+	MaxStmtsPerBlock int
+	// MaxDepth bounds statement nesting.
+	MaxDepth int
+	// Floats enables float variables and arithmetic.
+	Floats bool
+}
+
+// DefaultConfig returns the standard fuzzing configuration.
+func DefaultConfig() Config {
+	return Config{MaxFuncs: 3, MaxStmtsPerBlock: 6, MaxDepth: 3, Floats: true}
+}
+
+type gen struct {
+	rng   *rand.Rand
+	cfg   Config
+	b     strings.Builder
+	depth int
+
+	// Scalars in scope (per function), by type.
+	ints   []string
+	floats []string
+	// arrays are global: name -> length.
+	arrays   map[string]int
+	arrNames []string
+	nextVar  int
+	// loopVars are counters of active loops: readable but never assigned,
+	// so every generated loop terminates.
+	loopVars []string
+	// funcs available to call: name -> param count (ints only).
+	funcs []funcSig
+	// loopDepth tracks whether break/continue are legal.
+	loopDepth int
+}
+
+type funcSig struct {
+	name   string
+	params int
+	ret    string // "int" or "float"
+}
+
+// Generate produces a MiniC source for the given seed.
+func Generate(seed int64, cfg Config) string {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), cfg: cfg, arrays: map[string]int{}}
+	return g.program()
+}
+
+func (g *gen) w(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("\t", g.depth))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteString("\n")
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.nextVar++
+	return fmt.Sprintf("%s%d", prefix, g.nextVar)
+}
+
+func (g *gen) program() string {
+	// Global arrays.
+	nArr := 1 + g.rng.Intn(3)
+	for i := 0; i < nArr; i++ {
+		name := fmt.Sprintf("garr%d", i)
+		length := 8 + g.rng.Intn(24)
+		g.arrays[name] = length
+		g.arrNames = append(g.arrNames, name)
+		g.w("int %s[%d];", name, length)
+	}
+	// A global scalar.
+	g.w("int gsum = %d;", g.rng.Intn(100))
+
+	// Helper functions.
+	nFuncs := g.rng.Intn(g.cfg.MaxFuncs + 1)
+	for i := 0; i < nFuncs; i++ {
+		g.function(fmt.Sprintf("helper%d", i))
+	}
+	g.mainFunc()
+	return g.b.String()
+}
+
+func (g *gen) function(name string) {
+	params := 1 + g.rng.Intn(3)
+	sig := funcSig{name: name, params: params, ret: "int"}
+	var decl []string
+	g.ints, g.floats = nil, nil
+	for i := 0; i < params; i++ {
+		p := fmt.Sprintf("p%d", i)
+		decl = append(decl, "int "+p)
+		g.ints = append(g.ints, p)
+	}
+	g.w("int %s(%s) {", name, strings.Join(decl, ", "))
+	g.depth++
+	g.declVars()
+	g.block(g.cfg.MaxDepth)
+	g.w("return %s;", g.intExpr(2))
+	g.depth--
+	g.w("}")
+	g.funcs = append(g.funcs, sig)
+}
+
+func (g *gen) mainFunc() {
+	g.ints, g.floats = nil, nil
+	g.w("int main() {")
+	g.depth++
+	g.declVars()
+	// Fill arrays deterministically.
+	iv := g.fresh("i")
+	g.w("int %s;", iv)
+	for _, a := range g.arrNames {
+		g.w("for (%s = 0; %s < %d; %s = %s + 1) { %s[%s] = %s * 13 %% 31 - 7; }",
+			iv, iv, g.arrays[a], iv, iv, a, iv, iv)
+	}
+	g.ints = append(g.ints, iv)
+	g.block(g.cfg.MaxDepth)
+	// Print a checksum of every array and all scalars so that any
+	// miscompilation becomes visible.
+	for _, a := range g.arrNames {
+		cv := g.fresh("c")
+		g.w("int %s = 0;", cv)
+		g.w("for (%s = 0; %s < %d; %s = %s + 1) { %s = %s * 3 + %s[%s]; }",
+			iv, iv, g.arrays[a], iv, iv, cv, cv, a, iv)
+		g.w("print(%s);", cv)
+	}
+	for _, v := range g.ints {
+		g.w("print(%s);", v)
+	}
+	for _, v := range g.floats {
+		g.w("print(%s);", v)
+	}
+	g.w("print(gsum);")
+	g.w("return 0;")
+	g.depth--
+	g.w("}")
+}
+
+func (g *gen) declVars() {
+	n := 2 + g.rng.Intn(5)
+	for i := 0; i < n; i++ {
+		if g.cfg.Floats && g.rng.Intn(4) == 0 {
+			v := g.fresh("f")
+			g.w("float %s = %d.%d;", v, g.rng.Intn(10), g.rng.Intn(100))
+			g.floats = append(g.floats, v)
+		} else {
+			v := g.fresh("v")
+			g.w("int %s = %d;", v, g.rng.Intn(50)-25)
+			g.ints = append(g.ints, v)
+		}
+	}
+}
+
+func (g *gen) block(depth int) {
+	n := 1 + g.rng.Intn(g.cfg.MaxStmtsPerBlock)
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *gen) stmt(depth int) {
+	choice := g.rng.Intn(10)
+	if depth <= 0 && choice >= 5 {
+		choice = g.rng.Intn(5)
+	}
+	switch choice {
+	case 0, 1: // scalar assignment
+		if len(g.ints) > 0 {
+			g.w("%s = %s;", g.pick(g.ints), g.intExpr(3))
+		}
+	case 2: // array store
+		a := g.pick(g.arrNames)
+		g.w("%s[%s] = %s;", a, g.index(a), g.intExpr(2))
+	case 3: // float assignment
+		if len(g.floats) > 0 {
+			g.w("%s = %s;", g.pick(g.floats), g.floatExpr(2))
+		} else if len(g.ints) > 0 {
+			g.w("%s = %s;", g.pick(g.ints), g.intExpr(3))
+		}
+	case 4: // global update or call statement; calls are only generated
+		// outside deep loop nests so the total work stays bounded.
+		if len(g.funcs) > 0 && g.loopDepth <= 1 && g.rng.Intn(2) == 0 {
+			f := g.funcs[g.rng.Intn(len(g.funcs))]
+			g.w("gsum = gsum + %s;", g.callExpr(f))
+		} else {
+			g.w("gsum = gsum + %s;", g.intExpr(2))
+		}
+	case 5: // if
+		g.w("if (%s) {", g.condExpr())
+		g.nested(func() { g.block(depth - 1) })
+		if g.rng.Intn(2) == 0 {
+			g.w("} else {")
+			g.nested(func() { g.block(depth - 1) })
+		}
+		g.w("}")
+	case 6, 7: // bounded for loop; the counter stays visible because the
+		// declaration precedes the loop in the current block.
+		v := g.fresh("i")
+		bound := 2 + g.rng.Intn(6)
+		g.w("int %s;", v)
+		g.w("for (%s = 0; %s < %d; %s = %s + 1) {", v, v, bound, v, v)
+		g.loopVars = append(g.loopVars, v)
+		g.nested(func() {
+			g.loopDepth++
+			g.block(depth - 1)
+			if g.rng.Intn(3) == 0 {
+				g.w("if (%s) { %s; }", g.condExpr(), g.pick([]string{"break", "continue"}))
+			}
+			g.loopDepth--
+		})
+		g.loopVars = g.loopVars[:len(g.loopVars)-1]
+		// After the loop the counter is an ordinary (assignable) scalar.
+		g.ints = append(g.ints, v)
+		g.w("}")
+	case 8: // bounded while loop with a protected counter
+		v := g.fresh("w")
+		bound := 2 + g.rng.Intn(6)
+		g.w("int %s = 0;", v)
+		g.w("while (%s < %d) {", v, bound)
+		g.loopVars = append(g.loopVars, v)
+		g.nested(func() {
+			g.loopDepth++
+			g.block(depth - 1)
+			g.loopDepth--
+		})
+		g.loopVars = g.loopVars[:len(g.loopVars)-1]
+		// The counter update is the last statement so that `continue`
+		// cannot skip it — termination is structural.
+		g.depth++
+		g.w("%s = %s + 1;", v, v)
+		g.depth--
+		g.ints = append(g.ints, v)
+		g.w("}")
+	case 9: // print or heavy arithmetic
+		if g.rng.Intn(2) == 0 && len(g.ints) >= 2 {
+			g.w("%s = %s;", g.pick(g.ints), g.intExpr(4))
+		} else {
+			g.w("print(%s);", g.intExpr(2))
+		}
+	}
+}
+
+func (g *gen) pick(list []string) string { return list[g.rng.Intn(len(list))] }
+
+// nested runs body one indentation level deeper and restores the variable
+// pools afterwards, so variables declared inside the nested block do not
+// leak into the enclosing scope.
+func (g *gen) nested(body func()) {
+	g.depth++
+	ni, nf := len(g.ints), len(g.floats)
+	body()
+	g.ints = g.ints[:ni]
+	g.floats = g.floats[:nf]
+	g.depth--
+}
+
+// index produces a guaranteed in-bounds index expression for array a.
+func (g *gen) index(a string) string {
+	n := g.arrays[a]
+	inner := g.intExpr(1)
+	return fmt.Sprintf("((%s) %% %d + %d) %% %d", inner, n, n, n)
+}
+
+func (g *gen) intAtom() string {
+	readable := append(append([]string(nil), g.ints...), g.loopVars...)
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%d", g.rng.Intn(40)-20)
+	case 1:
+		if len(readable) > 0 {
+			return g.pick(readable)
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(9))
+	case 2:
+		a := g.pick(g.arrNames)
+		return fmt.Sprintf("%s[%s]", a, g.index(a))
+	default:
+		if len(readable) > 0 {
+			return g.pick(readable)
+		}
+		return "1"
+	}
+}
+
+func (g *gen) intExpr(depth int) string {
+	if depth <= 0 {
+		return g.intAtom()
+	}
+	switch g.rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 3:
+		// Division by a provably non-zero value.
+		return fmt.Sprintf("(%s / (%s %% 7 + 8))", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 4:
+		return fmt.Sprintf("(%s %% 97)", g.intExpr(depth-1))
+	case 5:
+		return fmt.Sprintf("(-%s)", g.intExpr(depth-1))
+	default:
+		return g.intAtom()
+	}
+}
+
+func (g *gen) floatExpr(depth int) string {
+	if depth <= 0 || len(g.floats) == 0 {
+		if len(g.floats) > 0 && g.rng.Intn(2) == 0 {
+			return g.pick(g.floats)
+		}
+		return fmt.Sprintf("%d.%d", g.rng.Intn(6), g.rng.Intn(100))
+	}
+	op := g.pick([]string{"+", "-", "*"})
+	return fmt.Sprintf("(%s %s %s)", g.floatExpr(depth-1), op, g.floatExpr(depth-1))
+}
+
+func (g *gen) condExpr() string {
+	op := g.pick([]string{"<", "<=", ">", ">=", "==", "!="})
+	c := fmt.Sprintf("%s %s %s", g.intExpr(1), op, g.intExpr(1))
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s && %s %s %s", c, g.intExpr(1), g.pick([]string{"<", ">"}), g.intExpr(1))
+	case 1:
+		return fmt.Sprintf("%s || %s %s %s", c, g.intExpr(1), g.pick([]string{"<", ">"}), g.intExpr(1))
+	}
+	return c
+}
+
+func (g *gen) callExpr(f funcSig) string {
+	args := make([]string, f.params)
+	for i := range args {
+		args[i] = g.intExpr(1)
+	}
+	return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+}

@@ -1,0 +1,191 @@
+package randprog_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lower"
+	"repro/internal/randprog"
+	"repro/internal/regalloc/rap"
+	"repro/internal/testutil"
+)
+
+// TestGeneratedProgramsCompileAndTerminate checks the generator's own
+// guarantees: every seed yields a valid MiniC program that runs to
+// completion on virtual registers.
+func TestGeneratedProgramsCompileAndTerminate(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		p, err := testutil.Compile(src, lower.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if _, err := testutil.Run(p); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+	}
+}
+
+// TestDifferentialFuzz is the main correctness fuzz: for each seed, the
+// program's behaviour must be identical under no allocation, GRA and RAP
+// (all phase combinations) at several register set sizes.
+func TestDifferentialFuzz(t *testing.T) {
+	seeds := int64(24)
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		ref, err := core.Compile(src, core.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		refRes, err := core.Run(ref)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		check := func(label string, cfg core.Config) {
+			p, err := core.Compile(src, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, label, err, src)
+			}
+			res, err := core.Run(p)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, label, err, src)
+			}
+			if err := testutil.SameBehaviour(refRes, res); err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, label, err, src)
+			}
+		}
+		for _, k := range []int{3, 5, 9} {
+			check(fmt.Sprintf("gra k=%d", k), core.Config{Allocator: core.AllocGRA, K: k})
+			check(fmt.Sprintf("rap k=%d", k), core.Config{Allocator: core.AllocRAP, K: k})
+			check(fmt.Sprintf("rap-phase1 k=%d", k), core.Config{
+				Allocator: core.AllocRAP, K: k,
+				RAP: rap.Options{DisableSpillMotion: true, DisablePeephole: true},
+			})
+			check(fmt.Sprintf("rap-merged k=%d", k), core.Config{
+				Allocator: core.AllocRAP, K: k,
+				Lower: lower.Options{MergeStatements: true},
+			})
+		}
+	}
+}
+
+// TestGeneratorDeterministic: the same seed must produce the same source.
+func TestGeneratorDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		a := randprog.Generate(seed, randprog.DefaultConfig())
+		b := randprog.Generate(seed, randprog.DefaultConfig())
+		if a != b {
+			t.Fatalf("seed %d: generator not deterministic", seed)
+		}
+	}
+}
+
+// TestDifferentialFuzzCoalescing covers the §5 coalescing extension with
+// the same differential methodology.
+func TestDifferentialFuzzCoalescing(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(100); seed < 100+seeds; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		ref, err := core.Compile(src, core.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		refRes, err := core.Run(ref)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, k := range []int{3, 6} {
+			for _, alloc := range []core.Allocator{core.AllocGRA, core.AllocRAP} {
+				p, err := core.Compile(src, core.Config{Allocator: alloc, K: k, Coalesce: true})
+				if err != nil {
+					t.Fatalf("seed %d %s k=%d: %v\n%s", seed, alloc, k, err, src)
+				}
+				res, err := core.Run(p)
+				if err != nil {
+					t.Fatalf("seed %d %s k=%d: %v\n%s", seed, alloc, k, err, src)
+				}
+				if err := testutil.SameBehaviour(refRes, res); err != nil {
+					t.Fatalf("seed %d %s k=%d: %v\n%s", seed, alloc, k, err, src)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialFuzzExtendedPeephole covers the global-cleanup
+// extension (§5 "better placement of spill code").
+func TestDifferentialFuzzExtendedPeephole(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(200); seed < 200+seeds; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		ref, err := core.Compile(src, core.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		refRes, err := core.Run(ref)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, k := range []int{3, 6} {
+			p, err := core.Compile(src, core.Config{
+				Allocator: core.AllocRAP, K: k,
+				RAP: rap.Options{ExtendedPeephole: true},
+			})
+			if err != nil {
+				t.Fatalf("seed %d k=%d: %v\n%s", seed, k, err, src)
+			}
+			res, err := core.Run(p)
+			if err != nil {
+				t.Fatalf("seed %d k=%d: %v\n%s", seed, k, err, src)
+			}
+			if err := testutil.SameBehaviour(refRes, res); err != nil {
+				t.Fatalf("seed %d k=%d: %v\n%s", seed, k, err, src)
+			}
+		}
+	}
+}
+
+// TestDifferentialFuzzRematerialization covers the rematerialization
+// extension with the same differential methodology.
+func TestDifferentialFuzzRematerialization(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(300); seed < 300+seeds; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		ref, err := core.Compile(src, core.Config{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		refRes, err := core.Run(ref)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, k := range []int{3, 6} {
+			for _, alloc := range []core.Allocator{core.AllocGRA, core.AllocRAP} {
+				p, err := core.Compile(src, core.Config{Allocator: alloc, K: k, Rematerialize: true})
+				if err != nil {
+					t.Fatalf("seed %d %s k=%d: %v\n%s", seed, alloc, k, err, src)
+				}
+				res, err := core.Run(p)
+				if err != nil {
+					t.Fatalf("seed %d %s k=%d: %v\n%s", seed, alloc, k, err, src)
+				}
+				if err := testutil.SameBehaviour(refRes, res); err != nil {
+					t.Fatalf("seed %d %s k=%d: %v\n%s", seed, alloc, k, err, src)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package chaitin implements GRA, the baseline global register allocator
+// of the paper's evaluation (§4): Chaitin's graph-colouring allocator with
+// the Briggs/Cooper/Kennedy/Torczon optimistic-colouring enhancement, and
+// deliberately without coalescing or rematerialization — "in order to
+// present a fair comparison" with RAP.
+package chaitin
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/ig"
+	"repro/internal/ir"
+	"repro/internal/regalloc"
+)
+
+// Options configures the allocator.
+type Options struct {
+	// MaxIterations bounds the build/colour/spill loop (0 means 100).
+	MaxIterations int
+	// Coalesce enables conservative (Briggs) coalescing of copy-related
+	// registers. The paper's GRA runs without it (§4); this is the §5
+	// extension.
+	Coalesce bool
+	// Rematerialize recomputes never-killed constants at their uses
+	// instead of spilling them through memory (Briggs et al.; the paper's
+	// GRA deliberately omits it). Extension, off by default.
+	Rematerialize bool
+}
+
+// Allocate rewrites f to use at most k physical registers, spilling to
+// dedicated frame slots where colouring fails. Spill cost follows Chaitin:
+// the number of definitions and uses of the register in the whole
+// procedure, divided by its degree in the interference graph.
+func Allocate(f *ir.Function, k int, opts Options) error {
+	if k < regalloc.MinRegisters {
+		return fmt.Errorf("chaitin: k=%d below minimum %d", k, regalloc.MinRegisters)
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	sp := regalloc.NewSpiller(f)
+	for iter := 0; iter < maxIter; iter++ {
+		g, err := cfg.Build(f)
+		if err != nil {
+			return fmt.Errorf("chaitin: %w", err)
+		}
+		lv := dataflow.ComputeLiveness(g)
+		graph := regalloc.BuildInterference(f, g, lv)
+		if opts.Coalesce {
+			regalloc.CoalesceConservative(f.Instrs, graph, k, false, nil)
+		}
+
+		// Spill costs: refs/degree, infinite for spill temporaries.
+		// Coalesced nodes sum their members' reference counts.
+		refs := countRefs(f)
+		for _, n := range graph.Nodes() {
+			total := 0
+			temp := false
+			for _, r := range n.Regs {
+				total += refs[r]
+				temp = temp || sp.IsTemp(r)
+			}
+			if temp {
+				n.SpillCost = ig.Infinity
+				continue
+			}
+			d := n.Degree()
+			if d == 0 {
+				d = 1
+			}
+			n.SpillCost = float64(total) / float64(d)
+		}
+
+		res := graph.Color(k, false)
+		if len(res.Spilled) == 0 {
+			if err := regalloc.RewriteToPhysical(f, graph, k); err != nil {
+				return fmt.Errorf("chaitin: %w", err)
+			}
+			regalloc.RemoveSelfCopies(f)
+			return nil
+		}
+		spilled := map[ir.Reg]bool{}
+		var remat []ir.Reg
+		for _, n := range res.Spilled {
+			for _, r := range n.Regs {
+				if sp.IsTemp(r) {
+					return fmt.Errorf("chaitin: %s: spill temporary %s selected for spilling (k too small)", f.Name, r)
+				}
+				if opts.Rematerialize {
+					if _, ok := regalloc.RematProto(f, r); ok {
+						remat = append(remat, r)
+						continue
+					}
+				}
+				spilled[r] = true
+			}
+		}
+		if len(remat) > 0 {
+			edit := regalloc.NewEdit()
+			for _, r := range remat {
+				proto, _ := regalloc.RematProto(f, r)
+				regalloc.RematerializeReg(f, sp, r, proto, edit)
+			}
+			edit.Apply(f)
+		}
+		spillEverywhere(f, sp, spilled)
+	}
+	return fmt.Errorf("chaitin: %s: no colouring after %d iterations", f.Name, maxIter)
+}
+
+// countRefs counts definitions plus uses per register.
+func countRefs(f *ir.Function) map[ir.Reg]int {
+	refs := map[ir.Reg]int{}
+	var buf []ir.Reg
+	for _, in := range f.Instrs {
+		buf = in.Uses(buf[:0])
+		for _, u := range buf {
+			refs[u]++
+		}
+		if d := in.Def(); d != ir.None {
+			refs[d]++
+		}
+	}
+	return refs
+}
+
+// spillEverywhere implements Chaitin-style spilling for a load/store
+// architecture (§2.1): a load is inserted before every use of a spilled
+// register and a store after every definition, with each reference renamed
+// to a fresh short-lived temporary.
+func spillEverywhere(f *ir.Function, sp *regalloc.Spiller, spilled map[ir.Reg]bool) {
+	edit := regalloc.NewEdit()
+	for i, in := range f.Instrs {
+		perInstr := map[ir.Reg]ir.Reg{}
+		in.RewriteUses(func(r ir.Reg) ir.Reg {
+			if !spilled[r] {
+				return r
+			}
+			if t, ok := perInstr[r]; ok {
+				return t
+			}
+			t := sp.NewTemp(r)
+			perInstr[r] = t
+			edit.InsertBefore(i, &ir.Instr{
+				Op: ir.OpLdSpill, Imm: sp.SlotOf(r), Dst: t, Region: in.Region,
+			})
+			return t
+		})
+		if d := in.Def(); d != ir.None && spilled[d] {
+			t := sp.NewTemp(d)
+			in.SetDef(t)
+			edit.InsertAfter(i, &ir.Instr{
+				Op: ir.OpStSpill, Src1: t, Imm: sp.SlotOf(d), Region: in.Region,
+			})
+		}
+	}
+	edit.Apply(f)
+}

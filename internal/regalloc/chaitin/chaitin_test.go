@@ -1,0 +1,235 @@
+package chaitin_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/lower"
+
+	"repro/internal/ir"
+	"repro/internal/regalloc"
+	"repro/internal/regalloc/chaitin"
+	"repro/internal/testutil"
+)
+
+// programs used for differential testing across register set sizes.
+var programs = map[string]string{
+	"straightline": `
+int main() {
+	int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+	int f = a + b; int g = c + d; int h = e + f; int i = g + h;
+	print(a + b + c + d + e + f + g + h + i);
+	return 0;
+}`,
+	"pressure": `
+int main() {
+	int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+	int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+	int s1 = a*b + c*d; int s2 = e*f + g*h; int s3 = i*j + a*c;
+	int s4 = b*d + e*g; int s5 = f*h + i*a;
+	print(s1); print(s2); print(s3); print(s4); print(s5);
+	print(a+b+c+d+e+f+g+h+i+j);
+	print(s1+s2+s3+s4+s5);
+	return s1 - s2;
+}`,
+	"loops": `
+int main() {
+	int i; int j; int acc = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		for (j = 0; j < 10; j = j + 1) {
+			if ((i + j) % 3 == 0) { acc = acc + i * j; }
+			else { acc = acc - 1; }
+		}
+	}
+	print(acc);
+	return acc % 100;
+}`,
+	"arrays": `
+int data[64];
+int main() {
+	int i;
+	for (i = 0; i < 64; i = i + 1) { data[i] = i * 3 % 17; }
+	int best = 0;
+	for (i = 0; i < 64; i = i + 1) {
+		if (data[i] > best) { best = data[i]; }
+	}
+	print(best);
+	return best;
+}`,
+	"calls": `
+int square(int x) { return x * x; }
+int sumsq(int n) {
+	int i; int s = 0;
+	for (i = 1; i <= n; i = i + 1) { s = s + square(i); }
+	return s;
+}
+int main() {
+	print(sumsq(10));
+	return 0;
+}`,
+	"recursion": `
+int ack(int m, int n) {
+	if (m == 0) { return n + 1; }
+	if (n == 0) { return ack(m - 1, 1); }
+	return ack(m - 1, ack(m, n - 1));
+}
+int main() {
+	print(ack(2, 3));
+	return 0;
+}`,
+	"floats": `
+float poly(float x) {
+	return 3.0*x*x*x - 2.0*x*x + 0.5*x - 7.25;
+}
+int main() {
+	float x = 0.0;
+	float acc = 0.0;
+	while (x < 4.0) {
+		acc = acc + poly(x);
+		x = x + 0.5;
+	}
+	print(acc);
+	return 0;
+}`,
+	"breaks": `
+int main() {
+	int i; int found = -1;
+	for (i = 0; i < 100; i = i + 1) {
+		if (i * i > 500) { found = i; break; }
+		if (i % 7 == 3) { continue; }
+		print(i % 5);
+	}
+	print(found);
+	return found;
+}`,
+}
+
+func TestGRADifferential(t *testing.T) {
+	for name, src := range programs {
+		t.Run(name, func(t *testing.T) {
+			p, err := testutil.Compile(src, lower.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := testutil.Run(p)
+			if err != nil {
+				t.Fatalf("virtual run: %v", err)
+			}
+			for _, k := range []int{3, 4, 5, 7, 9, 16} {
+				alloc, err := testutil.AllocateFunc(p, func(f *ir.Function) error {
+					return chaitin.Allocate(f, k, chaitin.Options{})
+				})
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				for _, f := range alloc.Funcs {
+					if err := regalloc.CheckPhysical(f); err != nil {
+						t.Fatalf("k=%d: %v", k, err)
+					}
+				}
+				got, err := testutil.Run(alloc)
+				if err != nil {
+					t.Fatalf("k=%d run: %v", k, err)
+				}
+				if err := testutil.SameBehaviour(ref, got); err != nil {
+					t.Errorf("k=%d: %v", k, err)
+				}
+			}
+		})
+	}
+}
+
+func TestGRASpillingShrinksWithK(t *testing.T) {
+	p, err := testutil.Compile(programs["pressure"], lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	for _, k := range []int{3, 5, 7, 9, 12} {
+		alloc, err := testutil.AllocateFunc(p, func(f *ir.Function) error {
+			return chaitin.Allocate(f, k, chaitin.Options{})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := testutil.Run(alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memOps := res.Total.Loads + res.Total.Stores
+		if prev >= 0 && memOps > prev {
+			t.Errorf("k=%d: memory ops %d exceed smaller register set's %d", k, memOps, prev)
+		}
+		prev = memOps
+	}
+}
+
+func TestGRARejectsTinyK(t *testing.T) {
+	p := testutil.MustCompile(`int main() { return 0; }`)
+	f := p.Funcs[0]
+	if err := chaitin.Allocate(f, 2, chaitin.Options{}); err == nil {
+		t.Error("expected error for k=2")
+	}
+}
+
+func TestGRAUsesAtMostKRegisters(t *testing.T) {
+	for name, src := range programs {
+		p, err := testutil.Compile(src, lower.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{3, 5} {
+			alloc, err := testutil.AllocateFunc(p, func(f *ir.Function) error {
+				return chaitin.Allocate(f, k, chaitin.Options{})
+			})
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			for _, f := range alloc.Funcs {
+				if err := regalloc.CheckPhysical(f); err != nil {
+					t.Errorf("%s k=%d: %v", name, k, err)
+				}
+				if f.K != k || !f.Allocated {
+					t.Errorf("%s k=%d: function metadata not set: %+v", name, k, f.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestGRADeterministic(t *testing.T) {
+	p, err := testutil.Compile(programs["loops"], lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := map[string]bool{}
+	for trial := 0; trial < 5; trial++ {
+		alloc, err := testutil.AllocateFunc(p, func(f *ir.Function) error {
+			return chaitin.Allocate(f, 4, chaitin.Options{})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		texts[alloc.String()] = true
+	}
+	if len(texts) != 1 {
+		t.Errorf("allocation is nondeterministic: %d distinct outputs", len(texts))
+	}
+}
+
+func ExampleAllocate() {
+	p := testutil.MustCompile(`
+int main() {
+	int a = 2; int b = 3;
+	print(a * b + a);
+	return 0;
+}`)
+	f := p.Func("main")
+	if err := chaitin.Allocate(f, 3, chaitin.Options{}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, _ := testutil.Run(p)
+	fmt.Println(res.Output[0])
+	// Output: 8
+}

@@ -1,0 +1,77 @@
+package regalloc
+
+import (
+	"repro/internal/ig"
+	"repro/internal/ir"
+)
+
+// CoalesceConservative merges the interference-graph nodes of copy-related
+// registers when doing so provably cannot turn a colourable graph
+// uncolourable — Briggs' conservative test: the combined node must have
+// fewer than k neighbours of significant degree (>= k).
+//
+// Coalescing is the paper's first future-work item (§5): both allocators
+// deliberately ship without it to match the published configuration, and
+// enable it through their options for the ablation study.
+//
+// When globalsMatter is set (RAP's region-level use), nodes that both
+// carry the Global flag are never merged — two registers live beyond the
+// region must keep distinct colours (§3.1.3), so merging them would make
+// the colouring infeasible.
+//
+// It returns the number of merges performed.
+func CoalesceConservative(instrs []*ir.Instr, g *ig.Graph, k int, globalsMatter bool, eligible func(ir.Reg) bool) int {
+	merged := 0
+	for changed := true; changed; {
+		changed = false
+		for _, in := range instrs {
+			if !in.IsCopy() {
+				continue
+			}
+			src, dst := in.Src1, in.Dst
+			if eligible != nil && (!eligible(src) || !eligible(dst)) {
+				continue
+			}
+			a, b := g.NodeOf(src), g.NodeOf(dst)
+			if a == nil || b == nil || a == b || a.Adj[b] {
+				continue
+			}
+			if globalsMatter && a.Global && b.Global {
+				continue
+			}
+			if !briggsSafe(a, b, k) {
+				continue
+			}
+			g.Merge(a, b)
+			merged++
+			changed = true
+		}
+	}
+	return merged
+}
+
+// briggsSafe reports whether merging a and b passes Briggs' conservative
+// test: the union of their neighbourhoods contains fewer than k nodes of
+// degree >= k (counting the degree each neighbour would have after the
+// merge).
+func briggsSafe(a, b *ig.Node, k int) bool {
+	significant := 0
+	for n := range a.Adj {
+		deg := n.Degree()
+		if b.Adj[n] {
+			deg-- // n loses one edge when a and b fuse
+		}
+		if deg >= k {
+			significant++
+		}
+	}
+	for n := range b.Adj {
+		if a.Adj[n] {
+			continue // already counted
+		}
+		if n.Degree() >= k {
+			significant++
+		}
+	}
+	return significant < k
+}

@@ -1,0 +1,73 @@
+// Package naive implements the textbook worst-case register "allocator":
+// every virtual register lives in a spill slot, every instruction loads
+// its operands into scratch registers and stores its result back.
+//
+// It exists as (a) a third, trivially-correct implementation for
+// differential testing of the IR/interpreter/allocation machinery, and
+// (b) a lower bound: any credible allocator must beat it, which the tests
+// assert for GRA and RAP.
+package naive
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/regalloc"
+)
+
+// Allocate rewrites f so that every value travels through memory, using
+// at most 3 physical registers (the minimum the instruction set needs).
+// k only sets the recorded register-set size; any k >= 3 is accepted.
+func Allocate(f *ir.Function, k int) error {
+	if k < regalloc.MinRegisters {
+		return fmt.Errorf("naive: k=%d below minimum %d", k, regalloc.MinRegisters)
+	}
+	// Assign every virtual register a slot.
+	slots := map[ir.Reg]int64{}
+	for _, r := range f.VRegs() {
+		slots[r] = int64(f.SpillSlots)
+		f.SpillSlots++
+	}
+	// Calls carrying register argument lists (possible in hand-written
+	// IR; the lowerer stages arguments instead) can need more than two
+	// operands at once and are not supported.
+	for _, in := range f.Instrs {
+		if in.Op == ir.OpCall && len(in.Args) > 2 {
+			return fmt.Errorf("naive: %s: call with %d register arguments", f.Name, len(in.Args))
+		}
+	}
+	var out []*ir.Instr
+	for _, in := range f.Instrs {
+		// Load the (up to two distinct) used registers into scratch
+		// registers r1/r2, rewrite, execute, store the definition from
+		// r3.
+		scratch := map[ir.Reg]ir.Reg{}
+		next := ir.Reg(1)
+		in.RewriteUses(func(r ir.Reg) ir.Reg {
+			if s, ok := scratch[r]; ok {
+				return s
+			}
+			s := next
+			next++
+			scratch[r] = s
+			out = append(out, &ir.Instr{
+				Op: ir.OpLdSpill, Imm: slots[r], Dst: s, Region: in.Region,
+			})
+			return s
+		})
+		d := in.Def()
+		if d != ir.None {
+			in.SetDef(3)
+		}
+		out = append(out, in)
+		if d != ir.None {
+			out = append(out, &ir.Instr{
+				Op: ir.OpStSpill, Src1: 3, Imm: slots[d], Region: in.Region,
+			})
+		}
+	}
+	f.Instrs = out
+	f.Allocated = true
+	f.K = k
+	return nil
+}

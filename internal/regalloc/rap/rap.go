@@ -1,0 +1,332 @@
+// Package rap implements RAP, the paper's contribution: a register
+// allocator that works hierarchically over the Program Dependence Graph's
+// region structure (Norris & Pollock, PLDI 1994).
+//
+// Allocation proceeds in the paper's three phases:
+//
+//  1. A bottom-up pass over the region tree (§3.1, Fig. 2). Each region
+//     gets its own interference graph, built from the statements the
+//     region owns directly (add_region_conflicts) plus the combined
+//     summary graphs of its subregions (add_subregion_conflicts, Fig. 4).
+//     Spill costs follow Fig. 5; colouring uses simplify/select with the
+//     Briggs optimistic enhancement and first-fit colour choice; spills
+//     are inserted region-locally (§3.1.4) with the recursive
+//     outside-region fixup; successful colourings are summarized by
+//     combining same-coloured nodes (§3.1.5) before being handed to the
+//     parent region. Physical registers are fixed at the entry region.
+//  2. A top-down pass that moves spill loads/stores out of loop regions
+//     into spill nodes before/after the loop (§3.2).
+//  3. A local pass that eliminates redundant loads and stores inside
+//     basic blocks (§3.3, Fig. 6), implemented in package peephole.
+package rap
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/ig"
+	"repro/internal/ir"
+	"repro/internal/peephole"
+	"repro/internal/regalloc"
+)
+
+// Options configures RAP. The zero value is the paper's configuration.
+type Options struct {
+	// MaxIterations bounds each region's build/colour/spill loop
+	// (0 means 100).
+	MaxIterations int
+	// DisableSpillMotion turns off phase 2 (ablation).
+	DisableSpillMotion bool
+	// DisablePeephole turns off phase 3 (ablation).
+	DisablePeephole bool
+	// Coalesce enables conservative (Briggs) coalescing at each region
+	// level (the paper's §5 future-work extension; off in the published
+	// configuration). Global-global merges are never performed.
+	Coalesce bool
+	// ExtendedPeephole replaces phase 3's basic-block-local pass with the
+	// whole-function dataflow version (peephole.RunGlobal) — our
+	// implementation of §5's "better placement of spill code" future
+	// work. Off in the published configuration.
+	ExtendedPeephole bool
+	// Rematerialize recomputes never-killed constants at their uses
+	// instead of spilling them (Briggs et al.; deliberately absent from
+	// the paper's configuration). Extension, off by default.
+	Rematerialize bool
+}
+
+// Stats reports what each phase of a RAP allocation did.
+type Stats struct {
+	// SpillRounds counts build/colour/spill iterations beyond the first,
+	// summed over all regions.
+	SpillRounds int
+	// RegsSpilled counts register spills (a register spilled at two
+	// region levels counts twice).
+	RegsSpilled int
+	// Coalesced counts region-level conservative coalesces (§5
+	// extension; zero unless Options.Coalesce).
+	Coalesced int
+	// Rematerialized counts registers replaced by recomputation instead
+	// of memory spills (zero unless Options.Rematerialize).
+	Rematerialized int
+	// Hoists counts spill-code families moved out of a loop (§3.2).
+	Hoists int
+	// Peephole reports phase 3's removals (§3.3).
+	Peephole peephole.Stats
+	// CopiesRemoved counts i2i r=>r instructions deleted after the
+	// rewrite to physical registers.
+	CopiesRemoved int
+}
+
+// Allocate rewrites f to use at most k physical registers by hierarchical
+// allocation over f's region tree.
+func Allocate(f *ir.Function, k int, opts Options) error {
+	_, err := AllocateWithStats(f, k, opts)
+	return err
+}
+
+// AllocateWithStats is Allocate, additionally reporting per-phase
+// statistics.
+func AllocateWithStats(f *ir.Function, k int, opts Options) (Stats, error) {
+	if k < regalloc.MinRegisters {
+		return Stats{}, fmt.Errorf("rap: k=%d below minimum %d", k, regalloc.MinRegisters)
+	}
+	if f.Regions == nil {
+		return Stats{}, fmt.Errorf("rap: %s has no region tree", f.Name)
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 100
+	}
+	a := &allocator{
+		f:         f,
+		k:         k,
+		opts:      opts,
+		sp:        regalloc.NewSpiller(f),
+		graphs:    map[int]*ig.Graph{},
+		spilledIn: map[int]map[ir.Reg]bool{},
+	}
+	if err := a.reanalyze(); err != nil {
+		return Stats{}, err
+	}
+	// Phase 1: bottom-up allocation. The entry region's colouring is the
+	// physical register assignment.
+	if err := a.allocateRegion(f.Regions); err != nil {
+		return a.stats, err
+	}
+	entry := a.graphs[f.Regions.ID]
+	if err := entry.CheckColoring(k, false); err != nil {
+		return a.stats, fmt.Errorf("rap: %s: entry colouring invalid: %w", f.Name, err)
+	}
+	// Phase 2 runs before the rewrite so it can reason about virtual
+	// registers and their colours.
+	if !opts.DisableSpillMotion {
+		if err := a.moveSpillCode(entry); err != nil {
+			return a.stats, err
+		}
+	}
+	if err := regalloc.RewriteToPhysical(f, entry, k); err != nil {
+		return a.stats, fmt.Errorf("rap: %w", err)
+	}
+	a.stats.CopiesRemoved = regalloc.RemoveSelfCopies(f)
+	// Phase 3: load/store elimination — basic-block local as published,
+	// or the whole-function extension.
+	if !opts.DisablePeephole {
+		pass := peephole.Run
+		if opts.ExtendedPeephole {
+			pass = peephole.RunGlobal
+		}
+		st, err := pass(f)
+		if err != nil {
+			return a.stats, fmt.Errorf("rap: %w", err)
+		}
+		a.stats.Peephole = st
+	}
+	return a.stats, nil
+}
+
+type allocator struct {
+	f    *ir.Function
+	k    int
+	opts Options
+	sp   *regalloc.Spiller
+
+	// graphs[id] is the summary interference graph of region id: the
+	// coloured, combined (≤ k node) graph for interior regions, and the
+	// full coloured graph for the entry region.
+	graphs map[int]*ig.Graph
+	// spilledIn[id] records origins spilled while allocating region id
+	// (used by the Fig. 5 "already spilled" rule).
+	spilledIn map[int]map[ir.Reg]bool
+
+	// Analysis state, rebuilt by reanalyze after every code edit.
+	g         *cfg.Graph
+	lv        *dataflow.Liveness
+	du        *dataflow.DefUse
+	spans     []ir.Span
+	totalRefs map[ir.Reg]int
+
+	stats Stats
+}
+
+// reanalyze rebuilds the CFG, liveness, def-use chains, region spans and
+// reference counts after the instruction list changed.
+func (a *allocator) reanalyze() error {
+	g, err := cfg.Build(a.f)
+	if err != nil {
+		return fmt.Errorf("rap: %w", err)
+	}
+	a.g = g
+	a.lv = dataflow.ComputeLiveness(g)
+	a.du = dataflow.ComputeDefUse(g)
+	a.spans = a.f.RegionSpans()
+	a.totalRefs = map[ir.Reg]int{}
+	var buf []ir.Reg
+	for _, in := range a.f.Instrs {
+		buf = in.Uses(buf[:0])
+		for _, u := range buf {
+			a.totalRefs[u]++
+		}
+		if d := in.Def(); d != ir.None {
+			a.totalRefs[d]++
+		}
+	}
+	return nil
+}
+
+// allocateRegion runs the Fig. 2 procedure on region V after recursively
+// allocating its subregions.
+func (a *allocator) allocateRegion(V *ir.Region) error {
+	for _, c := range V.Children {
+		if err := a.allocateRegion(c); err != nil {
+			return err
+		}
+	}
+	isEntry := V.Parent == nil
+	for iter := 0; iter < a.opts.MaxIterations; iter++ {
+		gv := a.buildRegionGraph(V)
+		a.calcSpillCosts(V, gv)
+		res := gv.Color(a.k, !isEntry)
+		if os.Getenv("RAP_DEBUG") != "" && len(res.Spilled) > 0 {
+			fmt.Fprintf(os.Stderr, "rap[%s] region %d (%s) iter %d: graph=%d nodes\n", a.f.Name, V.ID, V.Kind, iter, gv.NumNodes())
+			for _, n := range gv.Nodes() {
+				fmt.Fprintf(os.Stderr, "  node %v cost=%.3f deg=%d global=%v color=%d\n", n.Regs, n.SpillCost, n.Degree(), n.Global, n.Color)
+			}
+			for _, n := range res.Spilled {
+				fmt.Fprintf(os.Stderr, "  SPILL %v\n", n.Regs)
+			}
+		}
+		if len(res.Spilled) == 0 {
+			if isEntry {
+				a.graphs[V.ID] = gv
+			} else {
+				a.graphs[V.ID] = gv.Combine()
+			}
+			return nil
+		}
+		a.stats.SpillRounds++
+		if err := a.insertSpillCode(V, res.Spilled); err != nil {
+			return err
+		}
+		if err := a.reanalyze(); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("rap: %s: region %d not colourable after %d spill rounds (k=%d)",
+		a.f.Name, V.ID, a.opts.MaxIterations, a.k)
+}
+
+// --- region-level facts ---
+
+// ownIndices returns the instruction indices owned directly by V.
+func (a *allocator) ownIndices(V *ir.Region) []int {
+	span := a.spans[V.ID]
+	var out []int
+	for i := span.Start; i < span.End; i++ {
+		if a.f.Instrs[i].Region == V.ID {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// refsAt appends the registers referenced (used or defined) by instruction
+// i, one entry per occurrence.
+func (a *allocator) refsAt(i int, buf []ir.Reg) []ir.Reg {
+	in := a.f.Instrs[i]
+	buf = in.Uses(buf)
+	if d := in.Def(); d != ir.None {
+		buf = append(buf, d)
+	}
+	return buf
+}
+
+// refsInSpan counts, for every register, its references within span.
+func (a *allocator) refsInSpan(span ir.Span) map[ir.Reg]int {
+	counts := map[ir.Reg]int{}
+	var buf []ir.Reg
+	for i := span.Start; i < span.End; i++ {
+		buf = a.refsAt(i, buf[:0])
+		for _, r := range buf {
+			counts[r]++
+		}
+	}
+	return counts
+}
+
+// globalTo reports whether r has references outside span — the paper's
+// "global to the region" (§3.1: a register is local to a region if all its
+// references are inside).
+func (a *allocator) globalTo(r ir.Reg, inSpan map[ir.Reg]int) bool {
+	return a.totalRefs[r] > inSpan[r]
+}
+
+// liveAtEntry returns the registers live on entrance to region V. MiniC
+// regions are single-entry intervals, so this is the live-in set of the
+// first instruction.
+func (a *allocator) liveAtEntry(V *ir.Region) map[ir.Reg]bool {
+	span := a.spans[V.ID]
+	out := map[ir.Reg]bool{}
+	if span.Empty() {
+		return out
+	}
+	a.lv.LiveIn[span.Start].ForEach(func(ri int) { out[ir.Reg(ri)] = true })
+	return out
+}
+
+// liveAtExit returns the registers live on some edge leaving region V.
+func (a *allocator) liveAtExit(V *ir.Region) map[ir.Reg]bool {
+	span := a.spans[V.ID]
+	out := map[ir.Reg]bool{}
+	for i := span.Start; i < span.End; i++ {
+		for _, s := range a.g.InstrSuccs[i] {
+			if !span.Contains(s) {
+				a.lv.LiveIn[s].ForEach(func(ri int) { out[ir.Reg(ri)] = true })
+			}
+		}
+	}
+	return out
+}
+
+// usedIn / definedIn report use/def presence within a span.
+func (a *allocator) usedIn(span ir.Span) map[ir.Reg]bool {
+	out := map[ir.Reg]bool{}
+	var buf []ir.Reg
+	for i := span.Start; i < span.End; i++ {
+		buf = a.f.Instrs[i].Uses(buf[:0])
+		for _, u := range buf {
+			out[u] = true
+		}
+	}
+	return out
+}
+
+func (a *allocator) definedIn(span ir.Span) map[ir.Reg]bool {
+	out := map[ir.Reg]bool{}
+	for i := span.Start; i < span.End; i++ {
+		if d := a.f.Instrs[i].Def(); d != ir.None {
+			out[d] = true
+		}
+	}
+	return out
+}

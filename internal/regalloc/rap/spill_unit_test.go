@@ -1,0 +1,165 @@
+package rap
+
+// White-box unit tests for the §3.1.4 helpers: defEscapes (does a
+// definition's value leave a region?) and subregionEntryPos (where does
+// run-once-on-entry code belong?).
+
+import (
+	"testing"
+
+	"repro/internal/ig"
+	"repro/internal/ir"
+)
+
+// escapeFunction: a loop body defining v (r1); the definition's value
+// flows around the back edge into the next iteration's condition.
+func escapeFunction() *ir.Function {
+	entry := &ir.Region{ID: 0, Kind: ir.RegionEntry}
+	loop := &ir.Region{ID: 1, Kind: ir.RegionLoop, Parent: entry}
+	body := &ir.Region{ID: 2, Kind: ir.RegionBody, Parent: loop}
+	entry.Children = []*ir.Region{loop}
+	loop.Children = []*ir.Region{body}
+	mk := func(region int, in ir.Instr) *ir.Instr {
+		in.Region = region
+		return &in
+	}
+	return &ir.Function{
+		Name:    "esc",
+		NextReg: 10,
+		Instrs: []*ir.Instr{
+			/* 0 */ mk(0, ir.Instr{Op: ir.OpLoadI, Imm: 0, Dst: 1}),
+			/* 1 */ mk(0, ir.Instr{Op: ir.OpLoadI, Imm: 10, Dst: 2}),
+			/* 2 */ mk(1, ir.Instr{Op: ir.OpLabel, Label: "Lc"}),
+			/* 3 */ mk(1, ir.Instr{Op: ir.OpCmpLT, Src1: 1, Src2: 2, Dst: 3}),
+			/* 4 */ mk(1, ir.Instr{Op: ir.OpCBr, Src1: 3, Label: "Lb", Label2: "Le"}),
+			/* 5 */ mk(2, ir.Instr{Op: ir.OpLabel, Label: "Lb"}),
+			/* 6 */ mk(2, ir.Instr{Op: ir.OpLoadI, Imm: 1, Dst: 4}),
+			/* 7 */ mk(2, ir.Instr{Op: ir.OpAdd, Src1: 1, Src2: 4, Dst: 1}), // v = v+1
+			/* 8 */ mk(2, ir.Instr{Op: ir.OpLoadI, Imm: 9, Dst: 5}), // dead-ish local
+			/* 9 */ mk(2, ir.Instr{Op: ir.OpPrint, Src1: 5}),
+			/* 10 */ mk(1, ir.Instr{Op: ir.OpJump, Label: "Lc"}),
+			/* 11 */ mk(1, ir.Instr{Op: ir.OpLabel, Label: "Le"}),
+			/* 12 */ mk(0, ir.Instr{Op: ir.OpPrint, Src1: 1}),
+			/* 13 */ mk(0, ir.Instr{Op: ir.OpRet}),
+		},
+		Regions:    entry,
+		NumRegions: 3,
+	}
+}
+
+func TestDefEscapes(t *testing.T) {
+	f := escapeFunction()
+	al := newTestAllocator(t, f, 4)
+	bodySpan := al.spans[2]
+
+	// The add at 7 defines r1, whose value leaves the body (used by the
+	// condition next iteration and by the print after the loop).
+	if !al.defEscapes(7, 1, bodySpan) {
+		t.Error("loop-carried definition should escape the body span")
+	}
+	// r5's definition at 8 is consumed at 9 inside the body and nowhere
+	// else: no escape.
+	if al.defEscapes(8, 5, bodySpan) {
+		t.Error("body-local value must not escape")
+	}
+	// Relative to the whole loop span, the add's value still escapes
+	// (print after the loop)...
+	loopSpan := al.spans[1]
+	if !al.defEscapes(7, 1, loopSpan) {
+		t.Error("definition used after the loop should escape the loop span")
+	}
+	// ...but r4 (the constant 1) does not.
+	if al.defEscapes(6, 4, loopSpan) {
+		t.Error("loop-internal constant must not escape")
+	}
+}
+
+func TestSubregionEntryPos(t *testing.T) {
+	f := escapeFunction()
+	al := newTestAllocator(t, f, 4)
+
+	// The loop region starts with Lc, a label targeted only from inside
+	// (the back edge): entry code belongs BEFORE it so it runs once.
+	pos, reexec := al.subregionEntryPos(al.spans[1])
+	if pos != 2 || reexec {
+		t.Errorf("loop entry pos = %d (reexec=%v), want 2 (before Lc)", pos, reexec)
+	}
+	// The body starts with Lb, targeted only from outside (the cbr):
+	// entry code goes after the label.
+	pos, reexec = al.subregionEntryPos(al.spans[2])
+	if pos != 6 || reexec {
+		t.Errorf("body entry pos = %d (reexec=%v), want 6 (after Lb)", pos, reexec)
+	}
+}
+
+func TestSubregionEntryPosMixedLabel(t *testing.T) {
+	// A label targeted from both inside and outside the span has no safe
+	// once-only position: reexecutes must be reported.
+	entry := &ir.Region{ID: 0, Kind: ir.RegionEntry}
+	sub := &ir.Region{ID: 1, Kind: ir.RegionStmt, Parent: entry}
+	entry.Children = []*ir.Region{sub}
+	mk := func(region int, in ir.Instr) *ir.Instr {
+		in.Region = region
+		return &in
+	}
+	f := &ir.Function{
+		Name:    "mixed",
+		NextReg: 5,
+		Instrs: []*ir.Instr{
+			mk(0, ir.Instr{Op: ir.OpLoadI, Imm: 1, Dst: 1}),
+			mk(0, ir.Instr{Op: ir.OpCBr, Src1: 1, Label: "L", Label2: "M"}), // outside jump to L
+			mk(0, ir.Instr{Op: ir.OpLabel, Label: "M"}),
+			mk(1, ir.Instr{Op: ir.OpLabel, Label: "L"}),
+			mk(1, ir.Instr{Op: ir.OpCmpLT, Src1: 1, Src2: 1, Dst: 2}),
+			mk(1, ir.Instr{Op: ir.OpCBr, Src1: 2, Label: "L", Label2: "E"}), // inside jump to L
+			mk(1, ir.Instr{Op: ir.OpLabel, Label: "E"}),
+			mk(0, ir.Instr{Op: ir.OpRet}),
+		},
+		Regions:    entry,
+		NumRegions: 2,
+	}
+	al := newTestAllocator(t, f, 4)
+	pos, reexec := al.subregionEntryPos(al.spans[1])
+	if !reexec {
+		t.Errorf("mixed-target label should report reexecution (pos=%d)", pos)
+	}
+	if pos != 4 {
+		t.Errorf("pos = %d, want 4 (after the mixed label)", pos)
+	}
+}
+
+// TestSpillRecordsOrigins: spilledIn tracks origins so the Fig. 5
+// "already spilled" rule fires on renamed pieces.
+func TestSpillRecordsOrigins(t *testing.T) {
+	f := escapeFunction()
+	al := newTestAllocator(t, f, 4)
+	body := f.Regions.Children[0].Children[0]
+	gv := al.buildRegionGraph(body)
+	n := gv.NodeOf(1)
+	if n == nil {
+		t.Fatalf("r1 missing:\n%s", gv)
+	}
+	if err := al.insertSpillCode(body, []*ig.Node{n}); err != nil {
+		t.Fatal(err)
+	}
+	if !al.spilledIn[body.ID][1] {
+		t.Error("origin r1 not recorded as spilled in the body region")
+	}
+	if err := al.reanalyze(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckRegions(); err != nil {
+		t.Errorf("spill insertion broke region invariants: %v", err)
+	}
+	// Spill code must reference the slot inside the body region.
+	spans := f.RegionSpans()
+	found := false
+	for i := spans[body.ID].Start; i < spans[body.ID].End; i++ {
+		if f.Instrs[i].Op == ir.OpLdSpill || f.Instrs[i].Op == ir.OpStSpill {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no spill code in the body after spilling:\n%s", f)
+	}
+}

@@ -1,0 +1,89 @@
+package regalloc
+
+import (
+	"repro/internal/ir"
+)
+
+// RematProto returns a prototype instruction that recomputes register v
+// from scratch — possible when every definition of v yields one and the
+// same never-killed constant (an immediate load, a float immediate, or a
+// frame address). Copy chains are followed: `loadI 8 => t; i2i t => v`
+// makes v rematerializable too.
+//
+// Rematerialization is the second feature the paper removes from both
+// allocators for its comparison (§4: "No coalescing or rematerialization
+// is done", citing Briggs et al.); both allocators here offer it as an
+// explicitly-flagged extension: a rematerializable spill victim is
+// recomputed before each use instead of travelling through a spill slot.
+func RematProto(f *ir.Function, v ir.Reg) (*ir.Instr, bool) {
+	defsOf := map[ir.Reg][]*ir.Instr{}
+	for _, in := range f.Instrs {
+		if d := in.Def(); d != ir.None {
+			defsOf[d] = append(defsOf[d], in)
+		}
+	}
+	var proto *ir.Instr
+	visited := map[ir.Reg]bool{}
+	var walk func(r ir.Reg) bool
+	walk = func(r ir.Reg) bool {
+		if visited[r] {
+			return true // cycle through copies: no new value sources
+		}
+		visited[r] = true
+		defs := defsOf[r]
+		if len(defs) == 0 {
+			return false // parameter or undefined: not constant
+		}
+		for _, d := range defs {
+			switch d.Op {
+			case ir.OpLoadI, ir.OpLoadF, ir.OpLea:
+				cand := &ir.Instr{Op: d.Op, Imm: d.Imm, FImm: d.FImm}
+				if proto == nil {
+					proto = cand
+				} else if proto.Op != cand.Op || proto.Imm != cand.Imm || proto.FImm != cand.FImm {
+					return false // conflicting constants
+				}
+			case ir.OpI2I:
+				if !walk(d.Src1) {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(v) || proto == nil {
+		return nil, false
+	}
+	return proto, true
+}
+
+// RematerializeReg removes register v from the function: every use is
+// rewritten to a fresh register defined by a clone of proto inserted just
+// before it, and every (now dead) definition of v is deleted. The fresh
+// register is recorded as a spill temporary derived from v so cost rules
+// treat it like spill code. It returns the fresh register.
+func RematerializeReg(f *ir.Function, sp *Spiller, v ir.Reg, proto *ir.Instr, edit *Edit) ir.Reg {
+	vn := sp.NewTemp(v)
+	for i, in := range f.Instrs {
+		used := false
+		in.RewriteUses(func(r ir.Reg) ir.Reg {
+			if r != v {
+				return r
+			}
+			used = true
+			return vn
+		})
+		if used {
+			p := proto.Clone()
+			p.Dst = vn
+			p.Region = in.Region
+			edit.InsertBefore(i, p)
+		}
+		if in.Def() == v {
+			edit.Delete[i] = true
+		}
+	}
+	return vn
+}

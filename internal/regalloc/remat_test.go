@@ -1,0 +1,119 @@
+package regalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/regalloc"
+)
+
+func TestRematProto(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		reg  ir.Reg
+		ok   bool
+		want string
+	}{
+		{
+			name: "simple_constant",
+			body: "loadI 42 => r1\nprint r1\nret",
+			reg:  1, ok: true, want: "loadI 42",
+		},
+		{
+			name: "through_copy",
+			body: "loadI 8 => r1\ni2i r1 => r2\nprint r2\nret",
+			reg:  2, ok: true, want: "loadI 8",
+		},
+		{
+			name: "float_constant",
+			body: "loadF 2.5 => r1\nfprint r1\nret",
+			reg:  1, ok: true, want: "loadF 2.5",
+		},
+		{
+			name: "frame_address",
+			body: "lea 16 => r1\nldm r1 => r2\nprint r2\nret",
+			reg:  1, ok: true, want: "lea 16",
+		},
+		{
+			name: "conflicting_constants",
+			body: "loadI 1 => r1\ncbr r1 -> A, B\nA:\nloadI 2 => r2\njump -> C\nB:\nloadI 3 => r2\nC:\nprint r2\nret",
+			reg:  2, ok: false,
+		},
+		{
+			name: "computed_value",
+			body: "loadI 1 => r1\nadd r1, r1 => r2\nprint r2\nret",
+			reg:  2, ok: false,
+		},
+		{
+			name: "parameter",
+			body: "getparam 0 => r1\nprint r1\nret",
+			reg:  1, ok: false,
+		},
+		{
+			name: "agreeing_multiple_defs",
+			body: "loadI 7 => r1\ncbr r1 -> A, B\nA:\nloadI 7 => r1\njump -> B\nB:\nprint r1\nret",
+			reg:  1, ok: true, want: "loadI 7",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f, err := ir.ParseFunction("func f params=1 locals=32\n" + c.body + "\nend\n")
+			if err != nil {
+				t.Fatal(err)
+			}
+			proto, ok := regalloc.RematProto(f, c.reg)
+			if ok != c.ok {
+				t.Fatalf("ok = %v, want %v", ok, c.ok)
+			}
+			if ok {
+				proto.Dst = 9
+				if !strings.HasPrefix(proto.String(), c.want) {
+					t.Errorf("proto = %s, want prefix %s", proto, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestRematerializeReg(t *testing.T) {
+	f, err := ir.ParseFunction(`func f params=0 locals=0
+	loadI 5 => r1
+	i2i r1 => r2
+	add r2, r2 => r3
+	print r3
+	print r2
+	ret
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := regalloc.NewSpiller(f)
+	proto, ok := regalloc.RematProto(f, 2)
+	if !ok {
+		t.Fatal("r2 should be rematerializable")
+	}
+	edit := regalloc.NewEdit()
+	vn := regalloc.RematerializeReg(f, sp, 2, proto, edit)
+	edit.Apply(f)
+	text := f.String()
+	// The i2i def of r2 is gone; each use is preceded by a fresh loadI.
+	if strings.Contains(text, "i2i r1 => r2") {
+		t.Errorf("dead definition survived:\n%s", text)
+	}
+	if got := strings.Count(text, "loadI 5 => "+vn.String()); got != 2 {
+		t.Errorf("expected 2 rematerializations, got %d:\n%s", got, text)
+	}
+	if strings.Contains(text, " r2") {
+		t.Errorf("r2 still referenced:\n%s", text)
+	}
+	if !sp.IsTemp(vn) || sp.Origin(vn) != 2 {
+		t.Error("replacement register not tracked as spill temp of r2")
+	}
+	// No spill slot was allocated.
+	if f.SpillSlots != 0 {
+		t.Errorf("rematerialization must not allocate slots, got %d", f.SpillSlots)
+	}
+}

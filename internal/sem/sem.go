@@ -1,0 +1,394 @@
+// Package sem resolves names and type-checks MiniC programs.
+//
+// The checker attaches a *ast.Symbol to every variable reference, inserts
+// implicit int<->float casts so that the lowerer sees fully typed
+// expressions, and rejects programs the rest of the pipeline cannot handle.
+package sem
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+)
+
+// Check resolves and type-checks prog in place.
+func Check(prog *ast.Program) error {
+	c := &checker{
+		globals: map[string]*ast.Symbol{},
+		funcs:   map[string]*ast.FuncDecl{},
+	}
+	return c.program(prog)
+}
+
+type checker struct {
+	deferred []error
+	globals  map[string]*ast.Symbol
+	funcs    map[string]*ast.FuncDecl
+	scopes   []map[string]*ast.Symbol
+	fn       *ast.FuncDecl
+	loop     int
+}
+
+func (c *checker) errf(pos token.Pos, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (c *checker) program(prog *ast.Program) error {
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return c.errf(g.Pos(), "redeclaration of global %s", g.Name)
+		}
+		sym := &ast.Symbol{Name: g.Name, Kind: ast.SymGlobal, Type: g.Type, IsArr: g.IsArr, ArrLen: g.ArrLen}
+		g.Sym = sym
+		c.globals[g.Name] = sym
+		if g.Init != nil {
+			if g.IsArr {
+				return c.errf(g.Pos(), "array %s cannot have an initializer", g.Name)
+			}
+			t, err := c.expr(g.Init)
+			if err != nil {
+				return err
+			}
+			switch g.Init.(type) {
+			case *ast.IntLit, *ast.FloatLit:
+			default:
+				return c.errf(g.Pos(), "global initializer for %s must be a literal", g.Name)
+			}
+			g.Init = c.coerce(g.Init, t, g.Type)
+		}
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return c.errf(f.Pos(), "redeclaration of function %s", f.Name)
+		}
+		if f.Name == "print" {
+			return c.errf(f.Pos(), "cannot define builtin print")
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		if err := c.function(f); err != nil {
+			return err
+		}
+	}
+	if len(c.deferred) > 0 {
+		return c.deferred[0]
+	}
+	if prog.Func("main") == nil {
+		return fmt.Errorf("program has no main function")
+	}
+	return nil
+}
+
+func (c *checker) function(f *ast.FuncDecl) error {
+	c.fn = f
+	c.scopes = []map[string]*ast.Symbol{{}}
+	c.loop = 0
+	for i := range f.Params {
+		prm := &f.Params[i]
+		if _, dup := c.scopes[0][prm.Name]; dup {
+			return c.errf(prm.Pos, "duplicate parameter %s", prm.Name)
+		}
+		sym := &ast.Symbol{Name: prm.Name, Kind: ast.SymParam, Type: prm.Type}
+		prm.Sym = sym
+		c.scopes[0][prm.Name] = sym
+	}
+	return c.stmt(f.Body)
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*ast.Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *ast.Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) stmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.push()
+		defer c.pop()
+		for _, inner := range s.Stmts {
+			if err := c.stmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ast.VarDecl:
+		scope := c.scopes[len(c.scopes)-1]
+		if _, dup := scope[s.Name]; dup {
+			return c.errf(s.Pos(), "redeclaration of %s", s.Name)
+		}
+		sym := &ast.Symbol{Name: s.Name, Kind: ast.SymLocal, Type: s.Type, IsArr: s.IsArr, ArrLen: s.ArrLen}
+		s.Sym = sym
+		if s.Init != nil {
+			t, err := c.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			s.Init = c.coerce(s.Init, t, s.Type)
+		}
+		// Declare after checking the initializer so `int x = x;` is an error.
+		scope[s.Name] = sym
+		return nil
+	case *ast.Assign:
+		lt, err := c.lvalue(s.LHS)
+		if err != nil {
+			return err
+		}
+		rt, err := c.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		s.RHS = c.coerce(s.RHS, rt, lt)
+		return nil
+	case *ast.ExprStmt:
+		_, err := c.expr(s.X)
+		return err
+	case *ast.If:
+		if err := c.cond(s.Cond); err != nil {
+			return err
+		}
+		if err := c.stmt(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.stmt(s.Else)
+		}
+		return nil
+	case *ast.While:
+		if err := c.cond(s.Cond); err != nil {
+			return err
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.stmt(s.Body)
+	case *ast.For:
+		c.push()
+		defer c.pop()
+		if s.Init != nil {
+			if err := c.stmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.cond(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.stmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loop++
+		defer func() { c.loop-- }()
+		return c.stmt(s.Body)
+	case *ast.Return:
+		if s.Value == nil {
+			if c.fn.Ret != ast.Void {
+				return c.errf(s.Pos(), "missing return value in %s", c.fn.Name)
+			}
+			return nil
+		}
+		if c.fn.Ret == ast.Void {
+			return c.errf(s.Pos(), "void function %s returns a value", c.fn.Name)
+		}
+		t, err := c.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		s.Value = c.coerce(s.Value, t, c.fn.Ret)
+		return nil
+	case *ast.Break:
+		if c.loop == 0 {
+			return c.errf(s.Pos(), "break outside loop")
+		}
+		return nil
+	case *ast.Continue:
+		if c.loop == 0 {
+			return c.errf(s.Pos(), "continue outside loop")
+		}
+		return nil
+	}
+	return c.errf(s.Pos(), "unsupported statement %T", s)
+}
+
+// cond checks a condition expression; any int or float value is accepted
+// (non-zero is true, as in C).
+func (c *checker) cond(e ast.Expr) error {
+	_, err := c.expr(e)
+	return err
+}
+
+func (c *checker) lvalue(e ast.Expr) (ast.Type, error) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			return 0, c.errf(e.Pos(), "undefined variable %s", e.Name)
+		}
+		if sym.IsArr {
+			return 0, c.errf(e.Pos(), "cannot assign to array %s", e.Name)
+		}
+		e.Sym = sym
+		e.SetType(sym.Type)
+		return sym.Type, nil
+	case *ast.Index:
+		return c.index(e)
+	}
+	return 0, c.errf(e.Pos(), "invalid assignment target")
+}
+
+func (c *checker) index(e *ast.Index) (ast.Type, error) {
+	sym := c.lookup(e.Name)
+	if sym == nil {
+		return 0, c.errf(e.Pos(), "undefined variable %s", e.Name)
+	}
+	if !sym.IsArr {
+		return 0, c.errf(e.Pos(), "%s is not an array", e.Name)
+	}
+	e.Sym = sym
+	it, err := c.expr(e.Index)
+	if err != nil {
+		return 0, err
+	}
+	if it != ast.Int {
+		return 0, c.errf(e.Pos(), "array index must be int")
+	}
+	e.SetType(sym.Type)
+	return sym.Type, nil
+}
+
+// coerce wraps e in a Cast if its type from differs from the target type.
+// Void values cannot be coerced; the checker records an error and leaves
+// the expression unchanged.
+func (c *checker) coerce(e ast.Expr, from, to ast.Type) ast.Expr {
+	if from == to {
+		return e
+	}
+	if from == ast.Void || to == ast.Void {
+		c.deferred = append(c.deferred, c.errf(e.Pos(), "cannot use void value"))
+		return e
+	}
+	cast := &ast.Cast{X: e}
+	cast.P = e.Pos()
+	cast.SetType(to)
+	return cast
+}
+
+func (c *checker) expr(e ast.Expr) (ast.Type, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		e.SetType(ast.Int)
+		return ast.Int, nil
+	case *ast.FloatLit:
+		e.SetType(ast.Float)
+		return ast.Float, nil
+	case *ast.Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			return 0, c.errf(e.Pos(), "undefined variable %s", e.Name)
+		}
+		if sym.IsArr {
+			return 0, c.errf(e.Pos(), "array %s used without index", e.Name)
+		}
+		e.Sym = sym
+		e.SetType(sym.Type)
+		return sym.Type, nil
+	case *ast.Index:
+		return c.index(e)
+	case *ast.Unary:
+		t, err := c.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == token.Not {
+			if t != ast.Int {
+				return 0, c.errf(e.Pos(), "operand of ! must be int")
+			}
+			e.SetType(ast.Int)
+			return ast.Int, nil
+		}
+		e.SetType(t)
+		return t, nil
+	case *ast.Binary:
+		xt, err := c.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		yt, err := c.expr(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case token.AndAnd, token.OrOr:
+			if xt != ast.Int || yt != ast.Int {
+				return 0, c.errf(e.Pos(), "operands of %s must be int", e.Op)
+			}
+			e.SetType(ast.Int)
+			return ast.Int, nil
+		case token.Percent:
+			if xt != ast.Int || yt != ast.Int {
+				return 0, c.errf(e.Pos(), "operands of %% must be int")
+			}
+			e.SetType(ast.Int)
+			return ast.Int, nil
+		case token.EqEq, token.NotEq, token.Lt, token.Le, token.Gt, token.Ge:
+			t := ast.Int
+			if xt == ast.Float || yt == ast.Float {
+				t = ast.Float
+			}
+			e.X = c.coerce(e.X, xt, t)
+			e.Y = c.coerce(e.Y, yt, t)
+			e.SetType(ast.Int) // comparisons yield 0/1
+			return ast.Int, nil
+		default: // + - * /
+			t := ast.Int
+			if xt == ast.Float || yt == ast.Float {
+				t = ast.Float
+			}
+			e.X = c.coerce(e.X, xt, t)
+			e.Y = c.coerce(e.Y, yt, t)
+			e.SetType(t)
+			return t, nil
+		}
+	case *ast.Call:
+		if e.Name == "print" {
+			if len(e.Args) != 1 {
+				return 0, c.errf(e.Pos(), "print takes exactly one argument")
+			}
+			if _, err := c.expr(e.Args[0]); err != nil {
+				return 0, err
+			}
+			e.SetType(ast.Void)
+			return ast.Void, nil
+		}
+		f, ok := c.funcs[e.Name]
+		if !ok {
+			return 0, c.errf(e.Pos(), "undefined function %s", e.Name)
+		}
+		if len(e.Args) != len(f.Params) {
+			return 0, c.errf(e.Pos(), "%s expects %d arguments, got %d", e.Name, len(f.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			t, err := c.expr(a)
+			if err != nil {
+				return 0, err
+			}
+			e.Args[i] = c.coerce(a, t, f.Params[i].Type)
+		}
+		e.Func = f
+		e.SetType(f.Ret)
+		return f.Ret, nil
+	case *ast.Cast:
+		return e.TypeOf(), nil
+	}
+	return 0, c.errf(e.Pos(), "unsupported expression %T", e)
+}

@@ -1,0 +1,151 @@
+package sem_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/sem"
+)
+
+func check(t *testing.T, src string) (*ast.Program, error) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p, sem.Check(p)
+}
+
+func TestAccepts(t *testing.T) {
+	good := []string{
+		`int main() { return 0; }`,
+		`int x = 5; int main() { return x; }`,
+		`float f = 2.5; int main() { int y = f; return y; }`, // implicit f->int via cast
+		`int a[4]; int main() { a[0] = 1; return a[0]; }`,
+		`int f(int a, float b) { return a; } int main() { return f(1, 2); }`, // int->float arg
+		`void v() {} int main() { v(); return 0; }`,
+		`int main() { int x = 3; { int x = 4; print(x); } print(x); return 0; }`, // shadowing
+		`int main() { float x = 3; return 0; }`,                                  // int->float init
+		`int main() { if (1.5) { return 1; } return 0; }`,                        // float condition
+	}
+	for _, src := range good {
+		if _, err := check(t, src); err != nil {
+			t.Errorf("%q rejected: %v", src, err)
+		}
+	}
+}
+
+func TestRejects(t *testing.T) {
+	bad := map[string]string{
+		`int main() { return y; }`:                                         "undefined",
+		`int main() { int a; int a; return 0; }`:                           "redeclaration",
+		`int g; int g; int main() { return 0; }`:                           "redeclaration",
+		`int f() {return 0;} int f() {return 0;} int main() { return 0; }`: "redeclaration",
+		`int main() { break; }`:                                            "break outside",
+		`int main() { continue; }`:                                         "continue outside",
+		`int main() { int x = x; return 0; }`:                              "undefined",
+		`void f() {} int main() { int x = f(); return x; }`:                "void",
+		`void f() {} int main() { return 1 + f(); }`:                       "void",
+		`int main() { foo(); return 0; }`:                                  "undefined function",
+		`int f(int a) { return a; } int main() { return f(); }`:            "expects 1",
+		`int a[3]; int main() { a = 5; return 0; }`:                        "cannot assign to array",
+		`int a[3]; int main() { return a; }`:                               "without index",
+		`int x; int main() { return x[0]; }`:                               "not an array",
+		`int a[3]; int main() { return a[1.5]; }`:                          "index must be int",
+		`int main() { int x = 1.5 % 2; return 0; }`:                        "must be int",
+		`float x = 1.0; int main() { return x && 1; }`:                     "must be int",
+		`int main() { 5 = 3; return 0; }`:                                  "",
+		`void f() { return 1; } int main() { return 0; }`:                  "void function",
+		`int f() { return; } int main() { return 0; }`:                     "missing return value",
+		`int f(int a, int a) { return 0; } int main() { return 0; }`:       "duplicate parameter",
+		`void notmain() {}`:                                                "no main",
+		`int print(int x) { return x; } int main() { return 0; }`:          "builtin",
+		`int main() { print(); return 0; }`:                                "exactly one",
+		`int a[2]; int b[2]; int main() { a[0] = b; return 0; }`:           "without index",
+	}
+	for src, wantSubstr := range bad {
+		p, err := parser.Parse(src)
+		if err != nil {
+			continue // rejected even earlier; fine
+		}
+		err = sem.Check(p)
+		if err == nil {
+			t.Errorf("%q accepted, want error", src)
+			continue
+		}
+		if wantSubstr != "" && !strings.Contains(err.Error(), wantSubstr) {
+			t.Errorf("%q: error %q does not mention %q", src, err, wantSubstr)
+		}
+	}
+}
+
+func TestCastInsertion(t *testing.T) {
+	p, err := check(t, `int main() { float x = 1; int y = 2.5 + 1; return y; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// float x = 1: the initializer must be wrapped in a Cast to float.
+	d0 := p.Func("main").Body.Stmts[0].(*ast.VarDecl)
+	if _, ok := d0.Init.(*ast.Cast); !ok {
+		t.Errorf("int->float initializer not cast: %T", d0.Init)
+	}
+	// int y = 2.5 + 1: the 1 is cast to float inside, the sum cast to int.
+	d1 := p.Func("main").Body.Stmts[1].(*ast.VarDecl)
+	outer, ok := d1.Init.(*ast.Cast)
+	if !ok {
+		t.Fatalf("float->int initializer not cast: %T", d1.Init)
+	}
+	bin := outer.X.(*ast.Binary)
+	if bin.TypeOf() != ast.Float {
+		t.Errorf("sum type = %v, want float", bin.TypeOf())
+	}
+	if _, ok := bin.Y.(*ast.Cast); !ok {
+		t.Errorf("int operand not promoted: %T", bin.Y)
+	}
+}
+
+func TestSymbolResolution(t *testing.T) {
+	p, err := check(t, `
+int g = 1;
+int main() {
+	int l = 2;
+	{
+		int l = 3;
+		g = l;
+	}
+	return l;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.Func("main")
+	inner := main.Body.Stmts[1].(*ast.Block)
+	assign := inner.Stmts[1].(*ast.Assign)
+	lhs := assign.LHS.(*ast.Ident)
+	if lhs.Sym.Kind != ast.SymGlobal {
+		t.Error("g should resolve to the global")
+	}
+	rhs := assign.RHS.(*ast.Ident)
+	innerDecl := inner.Stmts[0].(*ast.VarDecl)
+	if rhs.Sym != innerDecl.Sym {
+		t.Error("l should resolve to the inner declaration")
+	}
+	ret := main.Body.Stmts[2].(*ast.Return)
+	outerDecl := main.Body.Stmts[0].(*ast.VarDecl)
+	if ret.Value.(*ast.Ident).Sym != outerDecl.Sym {
+		t.Error("return l should resolve to the outer declaration")
+	}
+}
+
+func TestComparisonYieldsInt(t *testing.T) {
+	p, err := check(t, `int main() { float a = 1.5; int r = a < 2.0; return r; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Func("main").Body.Stmts[1].(*ast.VarDecl)
+	if d.Init.TypeOf() != ast.Int {
+		t.Errorf("comparison type = %v, want int", d.Init.TypeOf())
+	}
+}

@@ -1,0 +1,142 @@
+// Package token defines the lexical tokens of MiniC, the structured C
+// subset accepted by the front end. MiniC plays the role of the C input
+// language that the paper's pdgcc front end consumed.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	IDENT // x
+	INT   // 123
+	FLOAT // 1.5
+
+	// Keywords.
+	KWInt
+	KWFloat
+	KWVoid
+	KWIf
+	KWElse
+	KWWhile
+	KWFor
+	KWReturn
+	KWBreak
+	KWContinue
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+	Assign   // =
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	Percent  // %
+	Not      // !
+	Lt       // <
+	Le       // <=
+	Gt       // >
+	Ge       // >=
+	EqEq     // ==
+	NotEq    // !=
+	AndAnd   // &&
+	OrOr     // ||
+)
+
+var kindNames = map[Kind]string{
+	EOF:        "EOF",
+	ILLEGAL:    "ILLEGAL",
+	IDENT:      "identifier",
+	INT:        "int literal",
+	FLOAT:      "float literal",
+	KWInt:      "int",
+	KWFloat:    "float",
+	KWVoid:     "void",
+	KWIf:       "if",
+	KWElse:     "else",
+	KWWhile:    "while",
+	KWFor:      "for",
+	KWReturn:   "return",
+	KWBreak:    "break",
+	KWContinue: "continue",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBracket:   "[",
+	RBracket:   "]",
+	Comma:      ",",
+	Semi:       ";",
+	Assign:     "=",
+	Plus:       "+",
+	Minus:      "-",
+	Star:       "*",
+	Slash:      "/",
+	Percent:    "%",
+	Not:        "!",
+	Lt:         "<",
+	Le:         "<=",
+	Gt:         ">",
+	Ge:         ">=",
+	EqEq:       "==",
+	NotEq:      "!=",
+	AndAnd:     "&&",
+	OrOr:       "||",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"int":      KWInt,
+	"float":    KWFloat,
+	"void":     KWVoid,
+	"if":       KWIf,
+	"else":     KWElse,
+	"while":    KWWhile,
+	"for":      KWFor,
+	"return":   KWReturn,
+	"break":    KWBreak,
+	"continue": KWContinue,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT, ILLEGAL:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
