@@ -24,16 +24,18 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/ir"
 	"repro/internal/lower"
+	"repro/internal/obs"
 	"repro/internal/pdg"
 	"repro/internal/regalloc"
 )
 
 func main() {
 	var (
-		what   = flag.String("what", "pdg", "what to dump: pdg, cfg, ir, regions, ig")
-		format = flag.String("format", "text", "output format for -what pdg: text or dot")
-		fn     = flag.String("func", "", "dump only this function (default: all)")
-		merge  = flag.Bool("merge-stmts", false, "merge per-statement regions")
+		what       = flag.String("what", "pdg", "what to dump: pdg, cfg, ir, regions, ig")
+		format     = flag.String("format", "text", "output format for -what pdg: text or dot")
+		fn         = flag.String("func", "", "dump only this function (default: all)")
+		merge      = flag.Bool("merge-stmts", false, "merge per-statement regions")
+		metricsOut = flag.String("metrics", "", "write front-end/PDG-build timings (schema rap/metrics/v1) as JSON to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -45,7 +47,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	p, err := core.Compile(string(src), core.Config{Lower: lower.Options{MergeStatements: *merge}})
+	var metrics *obs.Metrics
+	var tracer *obs.Tracer
+	if *metricsOut != "" {
+		metrics = obs.NewMetrics()
+		tracer = obs.New().WithMetrics(metrics)
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := metrics.Snapshot().WriteJSON(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	p, err := core.Compile(string(src), core.Config{Lower: lower.Options{MergeStatements: *merge}, Trace: tracer})
 	if err != nil {
 		fatal(err)
 	}
@@ -66,7 +84,9 @@ func main() {
 				fmt.Printf("  B%d [%d,%d) succs=%v preds=%v\n", b.ID, b.Start, b.End, b.Succs, b.Preds)
 			}
 		case "pdg":
+			span := tracer.StartSpan("pdg.build")
 			g, err := pdg.Build(f)
+			span.End()
 			if err != nil {
 				fatal(err)
 			}

@@ -9,28 +9,36 @@
 //	rapbench -only sieve,queens  # subset
 //	rapbench -ablate             # per-phase contribution summary
 //	rapbench -merge-stmts        # region-granularity ablation
+//	rapbench -json out.json      # machine-readable record ("rap/bench/v1")
+//	rapbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/lower"
+	"repro/internal/obs"
 	"repro/internal/regalloc/rap"
 )
 
 func main() {
 	var (
-		only   = flag.String("only", "", "comma-separated benchmark programs (default: all)")
-		ksFlag = flag.String("ks", "3,5,7,9", "register set sizes")
-		merge  = flag.Bool("merge-stmts", false, "merge per-statement regions (ablation)")
-		ablate = flag.Bool("ablate", false, "compare RAP phase ablations")
-		csvOut = flag.String("csv", "", "also write the rows as CSV to this file")
-		suite  = flag.String("suite", "paper", "benchmark set: paper (Table 1 rows) or extended (adds bubble/quick/mm/whetstone/ackermann)")
+		only    = flag.String("only", "", "comma-separated benchmark programs (default: all)")
+		ksFlag  = flag.String("ks", "3,5,7,9", "register set sizes")
+		merge   = flag.Bool("merge-stmts", false, "merge per-statement regions (ablation)")
+		ablate  = flag.Bool("ablate", false, "compare RAP phase ablations")
+		csvOut  = flag.String("csv", "", "also write the rows as CSV to this file")
+		jsonOut = flag.String("json", "", "write the Table 1 rows plus per-(program,k) wall clock as JSON (schema rap/bench/v1) to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
+		suite   = flag.String("suite", "paper", "benchmark set: paper (Table 1 rows) or extended (adds bubble/quick/mm/whetstone/ackermann)")
 	)
 	flag.Parse()
 	ks, err := core.ParseKs(*ksFlag)
@@ -41,6 +49,32 @@ func main() {
 	if *only != "" {
 		names = strings.Split(*only, ",")
 	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *ablate {
 		runAblation(ks, names)
@@ -54,7 +88,11 @@ func main() {
 		fatal(fmt.Errorf("unknown -suite %q", *suite))
 	}
 	cfg := core.CompareConfig{Lower: lower.Options{MergeStatements: *merge}}
-	rows, err := bench.Measure(progs, ks, cfg, names...)
+	var metrics *obs.Metrics
+	if *jsonOut != "" {
+		metrics = obs.NewMetrics()
+	}
+	rows, err := bench.MeasureTimed(progs, ks, cfg, metrics, names...)
 	if err != nil {
 		fatal(err)
 	}
@@ -66,6 +104,16 @@ func main() {
 		}
 		defer f.Close()
 		if err := bench.WriteCSV(f, rows, ks); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := bench.WriteJSON(f, rows, ks, metrics); err != nil {
 			fatal(err)
 		}
 	}

@@ -11,6 +11,8 @@
 //	rapcc -alloc rap -k 5 -stats prog.mc     # allocate with RAP, run, report
 //	rapcc -alloc gra -k 5 -dump prog.mc      # print the allocated iloc
 //	rapcc -compare -ks 3,5,7,9 prog.mc       # per-routine RAP vs GRA table
+//	rapcc -alloc rap -k 5 -trace-out t.jsonl -metrics m.json prog.mc
+//	rapcc -alloc rap -k 3 -run=false -explain r7 prog.mc
 //
 // When the program runs, its main return value (masked to 7 bits) becomes
 // rapcc's exit status.
@@ -24,24 +26,28 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/lower"
+	"repro/internal/obs"
 	"repro/internal/regalloc/rap"
 )
 
 func main() {
 	var (
-		alloc    = flag.String("alloc", "none", "register allocator: none, gra, rap, or naive (spill everything)")
-		k        = flag.Int("k", 5, "number of physical registers")
-		dump     = flag.Bool("dump", false, "print the (possibly allocated) iloc code")
-		run      = flag.Bool("run", true, "execute the program")
-		stats    = flag.Bool("stats", false, "print per-routine cycle/load/store/copy counts")
-		compare  = flag.Bool("compare", false, "compare RAP against GRA at the -ks register set sizes")
-		ksFlag   = flag.String("ks", "3,5,7,9", "comma-separated register set sizes for -compare")
-		merge    = flag.Bool("merge-stmts", false, "merge per-statement regions (region granularity ablation)")
-		noMotion = flag.Bool("rap-no-motion", false, "disable RAP's loop spill motion (ablation)")
-		noPeep   = flag.Bool("rap-no-peephole", false, "disable RAP's load/store elimination (ablation)")
-		coalesce = flag.Bool("coalesce", false, "enable conservative coalescing (extension)")
-		remat    = flag.Bool("remat", false, "enable constant rematerialization (extension)")
-		trace    = flag.Bool("trace", false, "print every executed instruction to stderr")
+		alloc      = flag.String("alloc", "none", "register allocator: none, gra, rap, or naive (spill everything)")
+		k          = flag.Int("k", 5, "number of physical registers")
+		dump       = flag.Bool("dump", false, "print the (possibly allocated) iloc code")
+		run        = flag.Bool("run", true, "execute the program")
+		stats      = flag.Bool("stats", false, "print per-routine cycle/load/store/copy counts")
+		compare    = flag.Bool("compare", false, "compare RAP against GRA at the -ks register set sizes")
+		ksFlag     = flag.String("ks", "3,5,7,9", "comma-separated register set sizes for -compare")
+		merge      = flag.Bool("merge-stmts", false, "merge per-statement regions (region granularity ablation)")
+		noMotion   = flag.Bool("rap-no-motion", false, "disable RAP's loop spill motion (ablation)")
+		noPeep     = flag.Bool("rap-no-peephole", false, "disable RAP's load/store elimination (ablation)")
+		coalesce   = flag.Bool("coalesce", false, "enable conservative coalescing (extension)")
+		remat      = flag.Bool("remat", false, "enable constant rematerialization (extension)")
+		trace      = flag.Bool("trace", false, "print every executed instruction to stderr (func, pc, cycle, instruction)")
+		traceOut   = flag.String("trace-out", "", "write allocation/pipeline events as JSON lines to this file")
+		metricsOut = flag.String("metrics", "", "write the pipeline metrics snapshot (schema rap/metrics/v1) as JSON to this file")
+		explain    = flag.String("explain", "", "print the named virtual register's allocation history (e.g. r7) and exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -53,12 +59,54 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Observability: any of -trace-out, -metrics, -stats and -explain
+	// turns the tracer on; with none of them the pipeline runs with the
+	// free nil tracer.
+	var sinks []obs.Sink
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer traceFile.Close()
+		sinks = append(sinks, obs.NewJSONLSink(traceFile))
+	}
+	var collector *obs.Collector
+	if *explain != "" {
+		collector = &obs.Collector{}
+		sinks = append(sinks, collector)
+	}
+	var metrics *obs.Metrics
+	if *metricsOut != "" || *stats {
+		metrics = obs.NewMetrics()
+	}
+	var tracer *obs.Tracer
+	if len(sinks) > 0 || metrics != nil {
+		tracer = obs.New(sinks...).WithMetrics(metrics)
+	}
+	writeMetrics := func() {
+		if *metricsOut == "" {
+			return
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := metrics.Snapshot().WriteJSON(f); err != nil {
+			fatal(err)
+		}
+	}
+
 	cfg := core.Config{
 		K:             *k,
 		Lower:         lower.Options{MergeStatements: *merge},
 		RAP:           rap.Options{DisableSpillMotion: *noMotion, DisablePeephole: *noPeep},
 		Coalesce:      *coalesce,
 		Rematerialize: *remat,
+		Trace:         tracer,
 	}
 
 	if *compare {
@@ -66,7 +114,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		ms, err := core.Compare(string(src), ks, core.CompareConfig{Lower: cfg.Lower, RAP: cfg.RAP})
+		ms, err := core.Compare(string(src), ks, core.CompareConfig{Lower: cfg.Lower, RAP: cfg.RAP, Trace: tracer})
 		if err != nil {
 			fatal(err)
 		}
@@ -75,6 +123,7 @@ func main() {
 			fmt.Printf("%-16s %3d %10d %10d %8.1f %8.1f %8.1f\n",
 				m.Func, m.K, m.GRA.Cycles, m.RAP.Cycles, m.PctTotal(), m.PctLoads(), m.PctStores())
 		}
+		writeMetrics()
 		return
 	}
 
@@ -83,13 +132,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *explain != "" {
+		fmt.Print(obs.Explain(collector.Events(), *explain))
+		writeMetrics()
+		return
+	}
 	if *dump {
 		fmt.Print(p.String())
 	}
 	if !*run {
+		writeMetrics()
 		return
 	}
-	iopts := interp.Options{}
+	iopts := interp.Options{Tracer: tracer}
 	if *trace {
 		iopts.Trace = os.Stderr
 	}
@@ -101,14 +156,26 @@ func main() {
 		fmt.Println(line)
 	}
 	if *stats {
-		fmt.Printf("%-16s %10s %10s %10s %10s\n", "routine", "cycles", "loads", "stores", "copies")
-		for _, name := range res.FuncNames() {
-			s := res.PerFunc[name]
-			fmt.Printf("%-16s %10d %10d %10d %10d\n", name, s.Cycles, s.Loads, s.Stores, s.Copies)
-		}
-		fmt.Printf("%-16s %10d %10d %10d %10d\n", "TOTAL", res.Total.Cycles, res.Total.Loads, res.Total.Stores, res.Total.Copies)
+		printStats(metrics)
 	}
+	writeMetrics()
 	os.Exit(int(res.Ret & 0x7f))
+}
+
+// printStats renders the per-routine summary from the metrics registry
+// the interpreter reported into (counters "interp.func.<name>.<field>"
+// and "interp.total.<field>").
+func printStats(metrics *obs.Metrics) {
+	snap := metrics.Snapshot()
+	fmt.Printf("%-16s %10s %10s %10s %10s\n", "routine", "cycles", "loads", "stores", "copies")
+	names, rows := snap.GroupCounters("interp.func.")
+	for _, name := range names {
+		s := rows[name]
+		fmt.Printf("%-16s %10d %10d %10d %10d\n", name, s["cycles"], s["loads"], s["stores"], s["copies"])
+	}
+	_, totals := snap.GroupCounters("interp.")
+	t := totals["total"]
+	fmt.Printf("%-16s %10d %10d %10d %10d\n", "TOTAL", t["cycles"], t["loads"], t["stores"], t["copies"])
 }
 
 func fatal(err error) {

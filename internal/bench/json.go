@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/obs"
+)
+
+// JSONSchema names rapbench's machine-readable output schema. The
+// embedded metrics snapshot carries its own schema tag
+// (obs.SnapshotSchema); per-(program,k) wall clocks appear there as
+// timings named "bench.<program>.k<k>".
+const JSONSchema = "rap/bench/v1"
+
+// JSONRow is one (routine, k) record: the raw counters under both
+// allocators plus the paper's derived percentages.
+type JSONRow struct {
+	Program     string       `json:"program"`
+	Func        string       `json:"func"`
+	K           int          `json:"k"`
+	GRA         interp.Stats `json:"gra"`
+	RAP         interp.Stats `json:"rap"`
+	PctTotal    float64      `json:"pct_total"`
+	PctLoads    float64      `json:"pct_loads"`
+	PctStores   float64      `json:"pct_stores"`
+	PctCopies   float64      `json:"pct_copies"`
+	GRASize     int          `json:"gra_size"`
+	RAPSize     int          `json:"rap_size"`
+	GRASpillOps int          `json:"gra_spill_ops"`
+	RAPSpillOps int          `json:"rap_spill_ops"`
+}
+
+// JSONSummary is the per-k aggregate (the paper's last table row).
+type JSONSummary struct {
+	K         int     `json:"k"`
+	AvgTotal  float64 `json:"avg_pct_total"`
+	AvgLoads  float64 `json:"avg_pct_loads"`
+	AvgStores float64 `json:"avg_pct_stores"`
+	Wins      int     `json:"wins"`
+	Rows      int     `json:"rows"`
+}
+
+// JSONReport is the full rapbench -json document — the machine-readable
+// Table 1 a CI trajectory (BENCH_*.json) records.
+type JSONReport struct {
+	Schema  string        `json:"schema"`
+	Ks      []int         `json:"ks"`
+	Rows    []JSONRow     `json:"rows"`
+	Summary []JSONSummary `json:"summary"`
+	// OverallAvgPct is the paper's headline number (it reports 2.7).
+	OverallAvgPct float64 `json:"overall_avg_pct"`
+	// Metrics is the run's metrics snapshot: pipeline counters plus the
+	// "bench.<program>.k<k>" wall-clock timings.
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// Report assembles the JSON document from measured rows. m may be nil
+// (yields an empty metrics snapshot).
+func Report(rows []Row, ks []int, m *obs.Metrics) JSONReport {
+	rep := JSONReport{Schema: JSONSchema, Ks: ks, Metrics: m.Snapshot()}
+	for _, r := range rows {
+		for _, k := range ks {
+			mm, ok := r.ByK[k]
+			if !ok {
+				continue
+			}
+			rep.Rows = append(rep.Rows, JSONRow{
+				Program: r.Program, Func: r.Func, K: k,
+				GRA: mm.GRA, RAP: mm.RAP,
+				PctTotal: mm.PctTotal(), PctLoads: mm.PctLoads(),
+				PctStores: mm.PctStores(), PctCopies: mm.PctCopies(),
+				GRASize: mm.GRASize, RAPSize: mm.RAPSize,
+				GRASpillOps: mm.GRASpillOps, RAPSpillOps: mm.RAPSpillOps,
+			})
+		}
+	}
+	for _, s := range Summarize(rows, ks) {
+		rep.Summary = append(rep.Summary, JSONSummary{
+			K: s.K, AvgTotal: s.AvgTotal, AvgLoads: s.AvgLoads,
+			AvgStores: s.AvgStores, Wins: s.Wins, Rows: s.Rows,
+		})
+	}
+	rep.OverallAvgPct = OverallAverage(Summarize(rows, ks))
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func WriteJSON(w io.Writer, rows []Row, ks []int, m *obs.Metrics) error {
+	b, err := json.MarshalIndent(Report(rows, ks, m), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// MeasureTimed is Measure, additionally recording each (program, k)
+// comparison's wall clock into m as a timing named
+// "bench.<program>.k<k>" and threading m's tracer context through the
+// compilations, so the report's metrics snapshot attributes time to
+// pipeline phases as well as benchmarks.
+func MeasureTimed(progs []Program, ks []int, cfg core.CompareConfig, m *obs.Metrics, only ...string) ([]Row, error) {
+	if m == nil {
+		return Measure(progs, ks, cfg, only...)
+	}
+	if len(ks) == 0 {
+		ks = Ks
+	}
+	wanted := map[string]bool{}
+	for _, n := range only {
+		wanted[n] = true
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = obs.New().WithMetrics(m)
+	}
+	var rows []Row
+	for _, prog := range progs {
+		if len(wanted) > 0 && !wanted[prog.Name] {
+			continue
+		}
+		pcfg := cfg
+		pcfg.Funcs = prog.Funcs
+		byFunc := map[string]map[int]core.Measurement{}
+		for _, k := range ks {
+			start := time.Now()
+			ms, err := core.Compare(prog.Source, []int{k}, pcfg)
+			m.Observe(fmt.Sprintf("bench.%s.k%d", prog.Name, k), time.Since(start))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", prog.Name, err)
+			}
+			for _, mm := range ms {
+				if byFunc[mm.Func] == nil {
+					byFunc[mm.Func] = map[int]core.Measurement{}
+				}
+				byFunc[mm.Func][mm.K] = mm
+			}
+		}
+		for _, fn := range prog.Funcs {
+			if byFunc[fn] == nil {
+				continue
+			}
+			rows = append(rows, Row{Program: prog.Name, Func: fn, ByK: byFunc[fn]})
+		}
+	}
+	return rows, nil
+}

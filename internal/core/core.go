@@ -12,11 +12,14 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/lower"
+	"repro/internal/obs"
+	"repro/internal/parser"
 	"repro/internal/peephole"
 	"repro/internal/regalloc"
 	"repro/internal/regalloc/chaitin"
 	"repro/internal/regalloc/naive"
 	"repro/internal/regalloc/rap"
+	"repro/internal/sem"
 	"repro/internal/testutil"
 )
 
@@ -59,11 +62,40 @@ type Config struct {
 	// allocator is selected (extension; off in the published
 	// configuration).
 	Rematerialize bool
+	// Trace observes the whole pipeline: the front-end phases run under
+	// "parse"/"sem"/"lower" spans, and the tracer is threaded into the
+	// selected allocator (and, via an attached metrics registry, into
+	// everything that reports counters). nil is free.
+	Trace *obs.Tracer
+}
+
+// Frontend parses, checks and lowers MiniC source, timing each phase
+// under the tracer (which may be nil).
+func Frontend(src string, opts lower.Options, tr *obs.Tracer) (*ir.Program, error) {
+	span := tr.StartSpan("parse")
+	prog, err := parser.Parse(src)
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	span = tr.StartSpan("sem")
+	err = sem.Check(prog)
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	span = tr.StartSpan("lower")
+	p, err := lower.Lower(prog, opts)
+	span.End()
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	return p, nil
 }
 
 // Compile compiles MiniC source through the configured pipeline.
 func Compile(src string, cfg Config) (*ir.Program, error) {
-	p, err := testutil.Compile(src, cfg.Lower)
+	p, err := Frontend(src, cfg.Lower, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -71,12 +103,14 @@ func Compile(src string, cfg Config) (*ir.Program, error) {
 	case "", AllocNone:
 		return p, nil
 	case AllocGRA:
+		span := cfg.Trace.StartSpan("alloc.gra")
+		defer span.End()
 		for _, f := range p.Funcs {
-			if err := chaitin.Allocate(f, cfg.K, chaitin.Options{Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize}); err != nil {
+			if err := chaitin.Allocate(f, cfg.K, chaitin.Options{Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize, Trace: cfg.Trace}); err != nil {
 				return nil, fmt.Errorf("%s: %w", f.Name, err)
 			}
 			if cfg.GRAPeephole {
-				if _, err := peephole.Run(f); err != nil {
+				if _, err := peephole.RunTraced(f, cfg.Trace); err != nil {
 					return nil, fmt.Errorf("%s: %w", f.Name, err)
 				}
 			}
@@ -96,10 +130,15 @@ func Compile(src string, cfg Config) (*ir.Program, error) {
 		}
 		return p, nil
 	case AllocRAP:
+		span := cfg.Trace.StartSpan("alloc.rap")
+		defer span.End()
 		for _, f := range p.Funcs {
 			ropts := cfg.RAP
 			ropts.Coalesce = ropts.Coalesce || cfg.Coalesce
 			ropts.Rematerialize = ropts.Rematerialize || cfg.Rematerialize
+			if ropts.Trace == nil {
+				ropts.Trace = cfg.Trace
+			}
 			if err := rap.Allocate(f, cfg.K, ropts); err != nil {
 				return nil, fmt.Errorf("%s: %w", f.Name, err)
 			}
@@ -204,6 +243,10 @@ type CompareConfig struct {
 	Rematerialize bool
 	// Funcs restricts measurement to these routines (nil = all executed).
 	Funcs []string
+	// Trace observes every compilation the comparison performs (the
+	// measured interpreter runs stay untraced so per-function counters
+	// are not mixed across allocators).
+	Trace *obs.Tracer
 }
 
 // staticSpillOps counts lds/sts instructions in a compiled routine.
@@ -240,7 +283,7 @@ func staticSize(f *ir.Function) int {
 // behaviour and returns measurements keyed in the order: for each k, each
 // measured routine sorted by name.
 func Compare(src string, ks []int, cfg CompareConfig) ([]Measurement, error) {
-	ref, err := Compile(src, Config{Lower: cfg.Lower})
+	ref, err := Compile(src, Config{Lower: cfg.Lower, Trace: cfg.Trace})
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +293,7 @@ func Compare(src string, ks []int, cfg CompareConfig) ([]Measurement, error) {
 	}
 	var out []Measurement
 	for _, k := range ks {
-		graProg, err := Compile(src, Config{Allocator: AllocGRA, K: k, Lower: cfg.Lower, GRAPeephole: cfg.GRAPeephole, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize})
+		graProg, err := Compile(src, Config{Allocator: AllocGRA, K: k, Lower: cfg.Lower, GRAPeephole: cfg.GRAPeephole, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize, Trace: cfg.Trace})
 		if err != nil {
 			return nil, fmt.Errorf("gra k=%d: %w", k, err)
 		}
@@ -261,7 +304,7 @@ func Compare(src string, ks []int, cfg CompareConfig) ([]Measurement, error) {
 		if err := testutil.SameBehaviour(refRes, graRes); err != nil {
 			return nil, fmt.Errorf("gra k=%d changed behaviour: %w", k, err)
 		}
-		rapProg, err := Compile(src, Config{Allocator: AllocRAP, K: k, Lower: cfg.Lower, RAP: cfg.RAP, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize})
+		rapProg, err := Compile(src, Config{Allocator: AllocRAP, K: k, Lower: cfg.Lower, RAP: cfg.RAP, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize, Trace: cfg.Trace})
 		if err != nil {
 			return nil, fmt.Errorf("rap k=%d: %w", k, err)
 		}

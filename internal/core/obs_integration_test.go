@@ -1,0 +1,112 @@
+package core_test
+
+// Integration tests for the observability layer (internal/obs) threaded
+// through the full pipeline: the metrics snapshot must be deterministic
+// run-to-run, a traced RAP compile of the repository's walkthrough
+// example must emit events from all three allocation phases, and the
+// -explain rendering of that trace is pinned as a golden.
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// compileCounters runs one traced Compile of src and returns the
+// resulting counter map (timings are wall clock and excluded).
+func compileCounters(t *testing.T, src string, cfg core.Config) map[string]int64 {
+	t.Helper()
+	m := obs.NewMetrics()
+	cfg.Trace = obs.New().WithMetrics(m)
+	if _, err := core.Compile(src, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return m.Snapshot().Counters
+}
+
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	for _, cfg := range []core.Config{
+		{Allocator: core.AllocRAP, K: 4},
+		{Allocator: core.AllocGRA, K: 4},
+	} {
+		a := compileCounters(t, sample, cfg)
+		b := compileCounters(t, sample, cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: counters differ across identical runs:\n  first:  %v\n  second: %v", cfg.Allocator, a, b)
+		}
+		if len(a) == 0 {
+			t.Errorf("%s: no counters recorded", cfg.Allocator)
+		}
+	}
+}
+
+// examplePath is the README's observability walkthrough program; the
+// tests below also keep that file honest.
+const examplePath = "../../examples/minic/sieve.mc"
+
+func exampleSource(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile(examplePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+func TestExampleTraceCoversAllPhases(t *testing.T) {
+	var col obs.Collector
+	_, err := core.Compile(exampleSource(t), core.Config{
+		Allocator: core.AllocRAP, K: 5, Trace: obs.New(&col),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	spans := map[string]bool{}
+	for _, ev := range col.Events() {
+		kinds[ev.Kind()] = true
+		if s, ok := ev.(*obs.SpanEnd); ok {
+			spans[s.Phase] = true
+		}
+	}
+	for _, want := range []string{"RegionColored", "NodeSpilled", "IterationRetried", "SpillHoisted", "LoadEliminated"} {
+		if !kinds[want] {
+			t.Errorf("no %s event in example trace (kinds: %v)", want, kinds)
+		}
+	}
+	for _, want := range []string{"rap.color", "rap.motion", "rap.peephole", "alloc.rap", "parse", "sem", "lower"} {
+		if !spans[want] {
+			t.Errorf("no %q span in example trace (spans: %v)", want, spans)
+		}
+	}
+}
+
+func TestExplainGolden(t *testing.T) {
+	var col obs.Collector
+	_, err := core.Compile(exampleSource(t), core.Config{
+		Allocator: core.AllocRAP, K: 5, Trace: obs.New(&col),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The history of r1 in the sieve at k=5 touches every phase: coloured
+	// in the inner loops, spilled in two outer regions, its loop spill
+	// code hoisted (§3.2), and one of its reloads deleted by the Fig. 6
+	// peephole (§3.3). Update deliberately if allocation order changes.
+	want := strings.Join([]string{
+		"[seive] region 7 (loop) iter 0: coloured 3 (of 3 colours over 5 nodes)",
+		"[seive] region 18 (loop) iter 0: coloured 4 (of 4 colours over 5 nodes)",
+		"[seive] region 15 iter 0: spilled — cheapest victim (cost 0.167, degree 6, global true)",
+		"[seive] region 12 iter 0: spilled — cheapest victim (cost 0.125, degree 8, global true)",
+		"[seive] region 0 (entry) iter 0: coloured 2 (of 5 colours over 11 nodes)",
+		"[seive] spill code for slot 0 hoisted out of loop region 18 into spill nodes in region 15 (1 loads, 0 stores replaced by 1+0 boundary ops)",
+		"[seive] peephole: load-deleted for slot 1",
+	}, "\n") + "\n"
+	if got := obs.Explain(col.Events(), "r1"); got != want {
+		t.Errorf("Explain(r1) = \n%s\nwant\n%s", got, want)
+	}
+}

@@ -20,14 +20,16 @@ import (
 	"strings"
 
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
-// Stats counts executed instructions by category.
+// Stats counts executed instructions by category. The JSON field names
+// are part of rapbench's -json schema ("rap/bench/v1").
 type Stats struct {
-	Cycles int64 // every non-label instruction
-	Loads  int64 // ldm + lds
-	Stores int64 // stm + sts
-	Copies int64 // i2i
+	Cycles int64 `json:"cycles"` // every non-label instruction
+	Loads  int64 `json:"loads"`  // ldm + lds
+	Stores int64 `json:"stores"` // stm + sts
+	Copies int64 `json:"copies"` // i2i
 }
 
 // Add accumulates other into s.
@@ -47,9 +49,15 @@ type Options struct {
 	// (0 means the default of 1 << 22).
 	StackWords int64
 	// Trace, when non-nil, receives one line per executed instruction
-	// ("<func>\t<index>\t<instruction>") — a debugging aid; tracing does
-	// not affect the counted statistics.
+	// ("<func>\t<index>\t<cycle>\t<instruction>", where <cycle> is the
+	// program-wide executed-cycle count at that instruction) — a
+	// debugging aid; tracing does not affect the counted statistics.
 	Trace io.Writer
+	// Tracer, when enabled, times the run under the "interp" span and
+	// publishes the per-function summary through the attached metrics
+	// registry as counters "interp.func.<name>.<cycles|loads|stores|
+	// copies>" plus the "interp.total.*" aggregates.
+	Tracer *obs.Tracer
 }
 
 // Result is the outcome of a program run.
@@ -87,6 +95,9 @@ type machine struct {
 	// call never needs all arguments in registers at once).
 	argStack []int64
 	trace    io.Writer
+	// executed is the program-wide cycle count, printed as the trace's
+	// cycle column.
+	executed int64
 }
 
 // Run executes p starting at main.
@@ -113,7 +124,9 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	for a, v := range p.GlobalInit {
 		m.mem[a] = v
 	}
+	span := opts.Tracer.StartSpan("interp")
 	ret, err := m.call(main, nil)
+	span.End()
 	if err != nil {
 		return m.res, err
 	}
@@ -121,7 +134,26 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	for _, st := range m.res.PerFunc {
 		m.res.Total.Add(*st)
 	}
+	m.res.publish(opts.Tracer.Metrics())
 	return m.res, nil
+}
+
+// publish records the run's per-function summary in a metrics registry
+// — the machine-readable form of rapcc's -stats table.
+func (r *Result) publish(reg *obs.Metrics) {
+	if reg == nil {
+		return
+	}
+	record := func(prefix string, s *Stats) {
+		reg.Add(prefix+".cycles", s.Cycles)
+		reg.Add(prefix+".loads", s.Loads)
+		reg.Add(prefix+".stores", s.Stores)
+		reg.Add(prefix+".copies", s.Copies)
+	}
+	for name, st := range r.PerFunc {
+		record("interp.func."+name, st)
+	}
+	record("interp.total", &r.Total)
 }
 
 func (m *machine) labelsOf(f *ir.Function) map[string]int {
@@ -198,11 +230,12 @@ func (m *machine) call(f *ir.Function, args []int64) (int64, error) {
 	pc := 0
 	for pc < len(f.Instrs) {
 		in := f.Instrs[pc]
-		if m.trace != nil && in.Op != ir.OpLabel {
-			fmt.Fprintf(m.trace, "%s\t%d\t%s\n", f.Name, pc, in)
-		}
 		if in.Op != ir.OpLabel {
 			st.Cycles++
+			m.executed++
+			if m.trace != nil {
+				fmt.Fprintf(m.trace, "%s\t%d\t%d\t%s\n", f.Name, pc, m.executed, in)
+			}
 			m.budget--
 			if m.budget < 0 {
 				return 0, fmt.Errorf("interp: cycle budget exhausted in %s", f.Name)

@@ -1,6 +1,7 @@
 package interp_test
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -341,6 +342,16 @@ end`)
 	}
 	if !strings.Contains(lines[0], "loadI 3 => r1") || !strings.HasPrefix(lines[0], "main\t") {
 		t.Errorf("bad trace line: %q", lines[0])
+	}
+	// Third column is the program-wide executed-cycle count.
+	for i, l := range lines {
+		cols := strings.Split(l, "\t")
+		if len(cols) != 4 {
+			t.Fatalf("trace line %d has %d columns, want 4: %q", i, len(cols), l)
+		}
+		if cols[2] != strconv.Itoa(i+1) {
+			t.Errorf("trace line %d cycle column = %q, want %d", i, cols[2], i+1)
+		}
 	}
 }
 

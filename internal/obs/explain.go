@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the decision history of one virtual register from a
+// collected event stream: where it was coloured, why it was spilled,
+// which loop its spill code was hoisted out of, and which of its spill
+// operations the peephole later removed. This is the engine behind
+// rapcc's -explain flag.
+//
+// Matching is by exact register name ("r7"): spilling renames the
+// in-region pieces of a register to fresh names, and those pieces are
+// separate registers with histories of their own — the NodeSpilled and
+// SpillHoisted events list the names involved, which is how a session
+// follows a value across renames.
+func Explain(events []Event, reg string) string {
+	var b strings.Builder
+	n := 0
+	line := func(format string, args ...any) {
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+		n++
+	}
+	for _, ev := range events {
+		switch e := ev.(type) {
+		case *RegionColored:
+			for _, rc := range e.Assigned {
+				if rc.Reg != reg {
+					continue
+				}
+				where := fmt.Sprintf("region %d (%s)", e.Region, e.RegionKind)
+				if e.Region < 0 {
+					where = "function graph"
+				}
+				line("[%s] %s iter %d: coloured %d (of %d colours over %d nodes)",
+					e.Func, where, e.Iter, rc.Color, e.Colors, e.Nodes)
+			}
+		case *NodeSpilled:
+			for _, r := range e.Regs {
+				if r != reg {
+					continue
+				}
+				with := ""
+				if len(e.Regs) > 1 {
+					with = fmt.Sprintf(" in node [%s]", strings.Join(e.Regs, " "))
+				}
+				line("[%s] region %d iter %d: spilled%s — cheapest victim (cost %.3f, degree %d, global %v)",
+					e.Func, e.Region, e.Iter, with, e.Cost, e.Degree, e.Global)
+			}
+		case *SpillHoisted:
+			if e.Reg == reg {
+				line("[%s] spill code for slot %d hoisted out of loop region %d into spill nodes in region %d (%d loads, %d stores replaced by 1+%d boundary ops)",
+					e.Func, e.Slot, e.Loop, e.Parent, e.Loads, e.Stores, min(e.Stores, 1))
+			}
+		case *LoadEliminated:
+			if e.Reg == reg {
+				line("[%s] peephole: %s for slot %d", e.Func, e.Action, e.Slot)
+			}
+		}
+	}
+	if n == 0 {
+		return fmt.Sprintf("no allocation events recorded for %s (never a colouring candidate by that name — it may have been renamed by spilling, or tracing covered no allocation)\n", reg)
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SnapshotSchema names the JSON schema Snapshot serializes to. Bump it
+// when a field changes meaning; additions are backward compatible.
+const SnapshotSchema = "rap/metrics/v1"
+
+// Metrics is a registry of monotonic counters and cumulative phase
+// timings. The zero value is not usable; use NewMetrics. All methods
+// are safe for concurrent use and nil-safe, so call sites can thread an
+// optional registry without guards.
+//
+// Naming convention: dot-separated paths, coarse to fine —
+// "rap.spill_rounds", "interp.func.main.cycles", "event.NodeSpilled".
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	timings  map[string]time.Duration
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]int64{},
+		timings:  map[string]time.Duration{},
+	}
+}
+
+// Add increments counter name by delta.
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Observe accumulates d into the timing for phase.
+func (m *Metrics) Observe(phase string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.timings[phase] += d
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the registry in its stable JSON
+// form. Counters are deterministic for a deterministic compilation;
+// timings are wall-clock and vary run to run, which is why they live in
+// a separate field consumers can ignore (and tests do).
+type Snapshot struct {
+	Schema    string           `json:"schema"`
+	Counters  map[string]int64 `json:"counters"`
+	TimingsNS map[string]int64 `json:"timings_ns,omitempty"`
+}
+
+// Snapshot copies the registry. A nil registry yields an empty (but
+// valid) snapshot.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{Schema: SnapshotSchema, Counters: map[string]int64{}}
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range m.counters {
+		s.Counters[k] = v
+	}
+	if len(m.timings) > 0 {
+		s.TimingsNS = make(map[string]int64, len(m.timings))
+		for k, v := range m.timings {
+			s.TimingsNS[k] = v.Nanoseconds()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. encoding/json sorts
+// map keys, so the output is byte-stable for equal snapshots.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// GroupCounters collects counters named "<prefix><key>.<field>" into
+// per-key field maps; e.g. with prefix "interp.func." the counter
+// "interp.func.main.cycles" lands in rows["main"]["cycles"]. Keys are
+// returned sorted.
+func (s Snapshot) GroupCounters(prefix string) (keys []string, rows map[string]map[string]int64) {
+	rows = map[string]map[string]int64{}
+	for name, v := range s.Counters {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		i := strings.LastIndexByte(rest, '.')
+		if i <= 0 {
+			continue
+		}
+		key, field := rest[:i], rest[i+1:]
+		if rows[key] == nil {
+			rows[key] = map[string]int64{}
+			keys = append(keys, key)
+		}
+		rows[key][field] = v
+	}
+	sort.Strings(keys)
+	return keys, rows
+}

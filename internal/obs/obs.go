@@ -1,0 +1,179 @@
+// Package obs is the pipeline's observability layer: a structured
+// span/event tracer and a metrics registry the compiler phases report
+// through.
+//
+// The tracer is nil-safe: a nil *Tracer (the default everywhere) is a
+// no-op whose methods allocate nothing, so the allocators pay only a
+// pointer comparison on their hot paths. When enabled, typed events
+// (RegionColored, NodeSpilled, SpillHoisted, LoadEliminated,
+// IterationRetried, ...) flow to pluggable sinks — a human-readable text
+// sink and a machine-readable JSONL sink ship with the package — and
+// span timings and event counts accumulate in an attached Metrics
+// registry, snapshotted to a stable JSON schema (see metrics.go).
+//
+// Call sites in hot loops guard event construction with Enabled so the
+// disabled path never materializes an event:
+//
+//	if tr.Enabled() {
+//		tr.Emit(&obs.NodeSpilled{...})
+//	}
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Sink receives every event emitted through a Tracer. Implementations
+// must be safe for concurrent use; the sinks in this package serialize
+// internally.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer fans events out to sinks and records span timings and event
+// counts in an optional Metrics registry. The zero of *Tracer (nil) is a
+// valid no-op tracer; all methods are nil-safe.
+type Tracer struct {
+	sinks []Sink
+	m     *Metrics
+}
+
+// New returns a tracer emitting to the given sinks.
+func New(sinks ...Sink) *Tracer {
+	return &Tracer{sinks: sinks}
+}
+
+// WithMetrics attaches a metrics registry: spans record their duration
+// under their phase name, and every emitted event increments the counter
+// "event.<Kind>". It returns the tracer for chaining; calling it on a
+// nil tracer returns a tracer that records metrics only.
+func (t *Tracer) WithMetrics(m *Metrics) *Tracer {
+	if t == nil {
+		return &Tracer{m: m}
+	}
+	t.m = m
+	return t
+}
+
+// Metrics returns the attached registry (nil if none).
+func (t *Tracer) Metrics() *Metrics {
+	if t == nil {
+		return nil
+	}
+	return t.m
+}
+
+// Enabled reports whether emitting is worthwhile: call sites use it to
+// skip constructing events when nobody is listening.
+func (t *Tracer) Enabled() bool {
+	return t != nil && (len(t.sinks) > 0 || t.m != nil)
+}
+
+// Emit delivers ev to every sink and counts it in the metrics registry.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	if t.m != nil {
+		t.m.Add("event."+ev.Kind(), 1)
+	}
+	for _, s := range t.sinks {
+		s.Emit(ev)
+	}
+}
+
+// Span is an in-progress timed phase. A nil *Span (from a disabled
+// tracer) is a valid no-op.
+type Span struct {
+	t     *Tracer
+	phase string
+	start time.Time
+}
+
+// StartSpan begins a timed phase. The phase name is dot-separated by
+// convention ("parse", "rap.color", "interp"); the same name used twice
+// accumulates in the metrics registry. Returns nil (a no-op span) when
+// the tracer is disabled.
+func (t *Tracer) StartSpan(phase string) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	t.Emit(&SpanStart{Phase: phase})
+	return &Span{t: t, phase: phase, start: time.Now()}
+}
+
+// End completes the span, recording its duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if s.t.m != nil {
+		s.t.m.Observe(s.phase, d)
+	}
+	s.t.Emit(&SpanEnd{Phase: s.phase, DurNS: d.Nanoseconds()})
+}
+
+// TextSink renders events as human-readable lines, one per event — the
+// format the old RAP_DEBUG stderr dump used, generalized to every event
+// type.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextSink returns a text sink writing to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Emit writes one line describing ev.
+func (s *TextSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	io.WriteString(s.w, ev.text())
+	io.WriteString(s.w, "\n")
+}
+
+// JSONLSink renders events as JSON lines:
+// {"ev":"<Kind>", ...fields}. Lines round-trip through Decode.
+type JSONLSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJSONLSink returns a JSONL sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Emit writes ev as one JSON line.
+func (s *JSONLSink) Emit(ev Event) {
+	b, err := Encode(ev)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Write(b)
+	io.WriteString(s.w, "\n")
+}
+
+// Collector retains every emitted event in order — the sink behind
+// rapcc's -explain and the package's own tests.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends ev.
+func (c *Collector) Emit(ev Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns the collected events in emission order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // bindState is the dataflow fact: for each slot, the set of registers
@@ -125,8 +126,9 @@ func (s *bindState) bind(r ir.Reg, slot int64) {
 // step applies one instruction's effect to the state. When edit is
 // non-nil the instruction may be simplified in place or marked deleted
 // (the caller's rewrite pass); with edit nil it is a pure transfer
-// function (the analysis pass).
-func (s *bindState) step(in *ir.Instr, del func(), st *Stats) {
+// function (the analysis pass). emit, when non-nil, reports each rewrite
+// as an observability event.
+func (s *bindState) step(in *ir.Instr, del func(), st *Stats, emit func(action string, slot int64, r ir.Reg)) {
 	switch in.Op {
 	case ir.OpLdSpill:
 		slot, r := in.Imm, in.Dst
@@ -135,6 +137,9 @@ func (s *bindState) step(in *ir.Instr, del func(), st *Stats) {
 			if del != nil {
 				del()
 				st.LoadsDeleted++
+				if emit != nil {
+					emit("load-deleted", slot, r)
+				}
 			}
 			return
 		}
@@ -145,6 +150,9 @@ func (s *bindState) step(in *ir.Instr, del func(), st *Stats) {
 				in.Src1 = src
 				in.Imm = 0
 				st.LoadsToCopies++
+				if emit != nil {
+					emit("load-to-copy", slot, r)
+				}
 			}
 			s.bind(r, slot)
 			return
@@ -156,6 +164,9 @@ func (s *bindState) step(in *ir.Instr, del func(), st *Stats) {
 			if del != nil {
 				del()
 				st.StoresDeleted++
+				if emit != nil {
+					emit("store-deleted", slot, r)
+				}
 			}
 			return
 		}
@@ -186,6 +197,12 @@ func (s *bindState) step(in *ir.Instr, del func(), st *Stats) {
 // RunGlobal performs whole-function redundant spill-load/store
 // elimination. It edits f in place and returns statistics.
 func RunGlobal(f *ir.Function) (Stats, error) {
+	return RunGlobalTraced(f, nil)
+}
+
+// RunGlobalTraced is RunGlobal, additionally emitting one
+// obs.LoadEliminated event per rewrite.
+func RunGlobalTraced(f *ir.Function, tr *obs.Tracer) (Stats, error) {
 	var st Stats
 	g, err := cfg.Build(f)
 	if err != nil {
@@ -211,7 +228,7 @@ func RunGlobal(f *ir.Function) (Stats, error) {
 				continue
 			}
 			for i := g.Blocks[b].Start; i < g.Blocks[b].End; i++ {
-				state.step(f.Instrs[i], nil, nil)
+				state.step(f.Instrs[i], nil, nil, nil)
 			}
 			for _, succ := range g.Blocks[b].Succs {
 				if in[succ].meet(state) {
@@ -222,6 +239,12 @@ func RunGlobal(f *ir.Function) (Stats, error) {
 	}
 
 	// Rewrite pass, seeded with each block's entry facts.
+	var emit func(action string, slot int64, r ir.Reg)
+	if tr.Enabled() {
+		emit = func(action string, slot int64, r ir.Reg) {
+			tr.Emit(&obs.LoadEliminated{Func: f.Name, Action: action, Slot: slot, Reg: r.String()})
+		}
+	}
 	deleted := map[int]bool{}
 	for b := 0; b < n; b++ {
 		state := in[b].clone()
@@ -230,7 +253,7 @@ func RunGlobal(f *ir.Function) (Stats, error) {
 		}
 		for i := g.Blocks[b].Start; i < g.Blocks[b].End; i++ {
 			idx := i
-			state.step(f.Instrs[i], func() { deleted[idx] = true }, &st)
+			state.step(f.Instrs[i], func() { deleted[idx] = true }, &st, emit)
 		}
 	}
 	if len(deleted) > 0 {

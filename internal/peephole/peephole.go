@@ -20,6 +20,7 @@ package peephole
 import (
 	"repro/internal/cfg"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
 // Stats reports what the pass removed or rewrote.
@@ -33,6 +34,12 @@ type Stats struct {
 // the pass is also correct on virtual-register code). It edits f in place
 // and returns statistics.
 func Run(f *ir.Function) (Stats, error) {
+	return RunTraced(f, nil)
+}
+
+// RunTraced is Run, additionally emitting one obs.LoadEliminated event
+// per rewrite.
+func RunTraced(f *ir.Function, tr *obs.Tracer) (Stats, error) {
 	var st Stats
 	g, err := cfg.Build(f)
 	if err != nil {
@@ -72,6 +79,9 @@ func Run(f *ir.Function) (Stats, error) {
 					// Pattern (1)/(4): r already holds the slot value.
 					deleted[i] = true
 					st.LoadsDeleted++
+					if tr.Enabled() {
+						tr.Emit(&obs.LoadEliminated{Func: f.Name, Action: "load-deleted", Slot: s, Reg: r.String()})
+					}
 					continue
 				}
 				if len(holders) > 0 {
@@ -82,6 +92,9 @@ func Run(f *ir.Function) (Stats, error) {
 					in.Src1 = src
 					in.Imm = 0
 					st.LoadsToCopies++
+					if tr.Enabled() {
+						tr.Emit(&obs.LoadEliminated{Func: f.Name, Action: "load-to-copy", Slot: s, Reg: r.String()})
+					}
 					bind(r, s)
 					continue
 				}
@@ -92,6 +105,9 @@ func Run(f *ir.Function) (Stats, error) {
 					// Patterns (3)/(5): the slot already holds this value.
 					deleted[i] = true
 					st.StoresDeleted++
+					if tr.Enabled() {
+						tr.Emit(&obs.LoadEliminated{Func: f.Name, Action: "store-deleted", Slot: s, Reg: r.String()})
+					}
 					continue
 				}
 				// The store changes the slot: previous holders go stale.

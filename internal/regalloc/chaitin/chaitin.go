@@ -12,8 +12,13 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/ig"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/regalloc"
 )
+
+// wholeFunction is the Region id GRA events carry: Chaitin colours one
+// graph for the whole routine, not a PDG region.
+const wholeFunction = -1
 
 // Options configures the allocator.
 type Options struct {
@@ -27,6 +32,9 @@ type Options struct {
 	// instead of spilling them through memory (Briggs et al.; the paper's
 	// GRA deliberately omits it). Extension, off by default.
 	Rematerialize bool
+	// Trace receives structured events and timings from the allocation;
+	// nil (the default) is free.
+	Trace *obs.Tracer
 }
 
 // Allocate rewrites f to use at most k physical registers, spilling to
@@ -41,6 +49,8 @@ func Allocate(f *ir.Function, k int, opts Options) error {
 	if maxIter == 0 {
 		maxIter = 100
 	}
+	span := opts.Trace.StartSpan("gra.color")
+	defer span.End()
 	sp := regalloc.NewSpiller(f)
 	for iter := 0; iter < maxIter; iter++ {
 		g, err := cfg.Build(f)
@@ -76,12 +86,32 @@ func Allocate(f *ir.Function, k int, opts Options) error {
 
 		res := graph.Color(k, false)
 		if len(res.Spilled) == 0 {
+			if opts.Trace.Enabled() {
+				opts.Trace.Emit(coloredEvent(f.Name, iter, graph))
+			}
 			if err := regalloc.RewriteToPhysical(f, graph, k); err != nil {
 				return fmt.Errorf("chaitin: %w", err)
 			}
 			regalloc.RemoveSelfCopies(f)
+			opts.Trace.Metrics().Add("gra.funcs_allocated", 1)
 			return nil
 		}
+		if opts.Trace.Enabled() {
+			for _, n := range res.Spilled {
+				regs := make([]string, len(n.Regs))
+				for i, r := range n.Regs {
+					regs[i] = r.String()
+				}
+				opts.Trace.Emit(&obs.NodeSpilled{
+					Func: f.Name, Region: wholeFunction, Iter: iter,
+					Regs: regs, Cost: n.SpillCost, Degree: n.Degree(), Global: n.Global,
+				})
+			}
+			opts.Trace.Emit(&obs.IterationRetried{
+				Func: f.Name, Region: wholeFunction, Iter: iter, Spilled: len(res.Spilled),
+			})
+		}
+		opts.Trace.Metrics().Add("gra.spill_rounds", 1)
 		spilled := map[ir.Reg]bool{}
 		var remat []ir.Reg
 		for _, n := range res.Spilled {
@@ -106,9 +136,31 @@ func Allocate(f *ir.Function, k int, opts Options) error {
 			}
 			edit.Apply(f)
 		}
+		if m := opts.Trace.Metrics(); m != nil {
+			m.Add("gra.regs_spilled", int64(len(spilled)))
+			m.Add("gra.rematerialized", int64(len(remat)))
+		}
 		spillEverywhere(f, sp, spilled)
 	}
 	return fmt.Errorf("chaitin: %s: no colouring after %d iterations", f.Name, maxIter)
+}
+
+// coloredEvent summarizes the successful whole-function colouring: the
+// assignment is the physical one (register R<color-1>).
+func coloredEvent(fn string, iter int, graph *ig.Graph) *obs.RegionColored {
+	ev := &obs.RegionColored{
+		Func: fn, Region: wholeFunction, RegionKind: "function",
+		Iter: iter, Nodes: graph.NumNodes(),
+	}
+	colors := map[int]bool{}
+	for _, n := range graph.Nodes() {
+		colors[n.Color] = true
+		for _, r := range n.Regs {
+			ev.Assigned = append(ev.Assigned, obs.RegColor{Reg: r.String(), Color: n.Color})
+		}
+	}
+	ev.Colors = len(colors)
+	return ev
 }
 
 // countRefs counts definitions plus uses per register.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ig"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/regalloc"
 )
 
@@ -164,6 +165,13 @@ func (a *allocator) hoistLoopSpills(L *ir.Region, entry *ig.Graph) error {
 		}
 		changed = true
 		a.stats.Hoists++
+		if a.opts.Trace.Enabled() {
+			a.opts.Trace.Emit(&obs.SpillHoisted{
+				Func: a.f.Name, Loop: L.ID, Parent: parentRegion,
+				Slot: s, Reg: origin.String(),
+				Loads: len(so.loads), Stores: len(so.stores),
+			})
+		}
 	}
 	if changed {
 		edit.Apply(a.f)

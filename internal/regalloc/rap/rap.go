@@ -28,6 +28,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/ig"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/peephole"
 	"repro/internal/regalloc"
 )
@@ -54,6 +55,11 @@ type Options struct {
 	// instead of spilling them (Briggs et al.; deliberately absent from
 	// the paper's configuration). Extension, off by default.
 	Rematerialize bool
+	// Trace receives structured events and per-phase timings from all
+	// three RAP phases. nil (the default) is free on the hot path. As a
+	// backward-compatible shim for the old env-var debug dump, a nil
+	// Trace with RAP_DEBUG set installs a text sink on stderr.
+	Trace *obs.Tracer
 }
 
 // Stats reports what each phase of a RAP allocation did.
@@ -98,6 +104,9 @@ func AllocateWithStats(f *ir.Function, k int, opts Options) (Stats, error) {
 	if opts.MaxIterations == 0 {
 		opts.MaxIterations = 100
 	}
+	if opts.Trace == nil && os.Getenv("RAP_DEBUG") != "" {
+		opts.Trace = obs.New(obs.NewTextSink(os.Stderr))
+	}
 	a := &allocator{
 		f:         f,
 		k:         k,
@@ -111,7 +120,10 @@ func AllocateWithStats(f *ir.Function, k int, opts Options) (Stats, error) {
 	}
 	// Phase 1: bottom-up allocation. The entry region's colouring is the
 	// physical register assignment.
-	if err := a.allocateRegion(f.Regions); err != nil {
+	sp1 := opts.Trace.StartSpan("rap.color")
+	err := a.allocateRegion(f.Regions)
+	sp1.End()
+	if err != nil {
 		return a.stats, err
 	}
 	entry := a.graphs[f.Regions.ID]
@@ -121,7 +133,10 @@ func AllocateWithStats(f *ir.Function, k int, opts Options) (Stats, error) {
 	// Phase 2 runs before the rewrite so it can reason about virtual
 	// registers and their colours.
 	if !opts.DisableSpillMotion {
-		if err := a.moveSpillCode(entry); err != nil {
+		sp2 := opts.Trace.StartSpan("rap.motion")
+		err := a.moveSpillCode(entry)
+		sp2.End()
+		if err != nil {
 			return a.stats, err
 		}
 	}
@@ -132,17 +147,39 @@ func AllocateWithStats(f *ir.Function, k int, opts Options) (Stats, error) {
 	// Phase 3: load/store elimination — basic-block local as published,
 	// or the whole-function extension.
 	if !opts.DisablePeephole {
-		pass := peephole.Run
+		pass := peephole.RunTraced
 		if opts.ExtendedPeephole {
-			pass = peephole.RunGlobal
+			pass = peephole.RunGlobalTraced
 		}
-		st, err := pass(f)
+		sp3 := opts.Trace.StartSpan("rap.peephole")
+		st, err := pass(f, opts.Trace)
+		sp3.End()
 		if err != nil {
 			return a.stats, fmt.Errorf("rap: %w", err)
 		}
 		a.stats.Peephole = st
 	}
+	a.recordStats()
 	return a.stats, nil
+}
+
+// recordStats publishes the allocation's Stats as metrics counters so a
+// snapshot carries them without the caller re-plumbing Stats.
+func (a *allocator) recordStats() {
+	m := a.opts.Trace.Metrics()
+	if m == nil {
+		return
+	}
+	m.Add("rap.spill_rounds", int64(a.stats.SpillRounds))
+	m.Add("rap.regs_spilled", int64(a.stats.RegsSpilled))
+	m.Add("rap.coalesced", int64(a.stats.Coalesced))
+	m.Add("rap.rematerialized", int64(a.stats.Rematerialized))
+	m.Add("rap.hoists", int64(a.stats.Hoists))
+	m.Add("rap.peephole.loads_deleted", int64(a.stats.Peephole.LoadsDeleted))
+	m.Add("rap.peephole.loads_to_copies", int64(a.stats.Peephole.LoadsToCopies))
+	m.Add("rap.peephole.stores_deleted", int64(a.stats.Peephole.StoresDeleted))
+	m.Add("rap.copies_removed", int64(a.stats.CopiesRemoved))
+	m.Add("rap.funcs_allocated", 1)
 }
 
 type allocator struct {
@@ -207,22 +244,28 @@ func (a *allocator) allocateRegion(V *ir.Region) error {
 		gv := a.buildRegionGraph(V)
 		a.calcSpillCosts(V, gv)
 		res := gv.Color(a.k, !isEntry)
-		if os.Getenv("RAP_DEBUG") != "" && len(res.Spilled) > 0 {
-			fmt.Fprintf(os.Stderr, "rap[%s] region %d (%s) iter %d: graph=%d nodes\n", a.f.Name, V.ID, V.Kind, iter, gv.NumNodes())
-			for _, n := range gv.Nodes() {
-				fmt.Fprintf(os.Stderr, "  node %v cost=%.3f deg=%d global=%v color=%d\n", n.Regs, n.SpillCost, n.Degree(), n.Global, n.Color)
-			}
-			for _, n := range res.Spilled {
-				fmt.Fprintf(os.Stderr, "  SPILL %v\n", n.Regs)
-			}
-		}
 		if len(res.Spilled) == 0 {
+			if a.opts.Trace.Enabled() {
+				a.opts.Trace.Emit(regionColoredEvent(a.f.Name, V, iter, gv))
+			}
 			if isEntry {
 				a.graphs[V.ID] = gv
 			} else {
 				a.graphs[V.ID] = gv.Combine()
 			}
 			return nil
+		}
+		if a.opts.Trace.Enabled() {
+			for _, n := range res.Spilled {
+				a.opts.Trace.Emit(&obs.NodeSpilled{
+					Func: a.f.Name, Region: V.ID, Iter: iter,
+					Regs: regNames(n.Regs), Cost: n.SpillCost,
+					Degree: n.Degree(), Global: n.Global,
+				})
+			}
+			a.opts.Trace.Emit(&obs.IterationRetried{
+				Func: a.f.Name, Region: V.ID, Iter: iter, Spilled: len(res.Spilled),
+			})
 		}
 		a.stats.SpillRounds++
 		if err := a.insertSpillCode(V, res.Spilled); err != nil {
@@ -234,6 +277,34 @@ func (a *allocator) allocateRegion(V *ir.Region) error {
 	}
 	return fmt.Errorf("rap: %s: region %d not colourable after %d spill rounds (k=%d)",
 		a.f.Name, V.ID, a.opts.MaxIterations, a.k)
+}
+
+// regNames renders member registers for an event.
+func regNames(regs []ir.Reg) []string {
+	out := make([]string, len(regs))
+	for i, r := range regs {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// regionColoredEvent summarizes a successful region colouring, with the
+// full per-register assignment (the entry region's assignment is the
+// physical one).
+func regionColoredEvent(fn string, V *ir.Region, iter int, gv *ig.Graph) *obs.RegionColored {
+	ev := &obs.RegionColored{
+		Func: fn, Region: V.ID, RegionKind: V.Kind.String(),
+		Iter: iter, Nodes: gv.NumNodes(),
+	}
+	colors := map[int]bool{}
+	for _, n := range gv.Nodes() {
+		colors[n.Color] = true
+		for _, r := range n.Regs {
+			ev.Assigned = append(ev.Assigned, obs.RegColor{Reg: r.String(), Color: n.Color})
+		}
+	}
+	ev.Colors = len(colors)
+	return ev
 }
 
 // --- region-level facts ---
