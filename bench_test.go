@@ -18,6 +18,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/bench"
@@ -31,8 +32,10 @@ import (
 )
 
 // benchTable1 runs the Table 1 suite at one register set size and reports
-// the paper's metrics.
+// the paper's metrics. The per-program comparison units fan out over the
+// bounded worker pool (results are deterministic regardless).
 func benchTable1(b *testing.B, k int, cfg core.CompareConfig) {
+	cfg.Parallel = runtime.GOMAXPROCS(0)
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Table1([]int{k}, cfg)
 		if err != nil {

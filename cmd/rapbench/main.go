@@ -10,6 +10,7 @@
 //	rapbench -ablate             # per-phase contribution summary
 //	rapbench -merge-stmts        # region-granularity ablation
 //	rapbench -json out.json      # machine-readable record ("rap/bench/v1")
+//	rapbench -parallel 4         # bound the (program,k) worker pool
 //	rapbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -30,15 +31,16 @@ import (
 
 func main() {
 	var (
-		only    = flag.String("only", "", "comma-separated benchmark programs (default: all)")
-		ksFlag  = flag.String("ks", "3,5,7,9", "register set sizes")
-		merge   = flag.Bool("merge-stmts", false, "merge per-statement regions (ablation)")
-		ablate  = flag.Bool("ablate", false, "compare RAP phase ablations")
-		csvOut  = flag.String("csv", "", "also write the rows as CSV to this file")
-		jsonOut = flag.String("json", "", "write the Table 1 rows plus per-(program,k) wall clock as JSON (schema rap/bench/v1) to this file")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file")
-		suite   = flag.String("suite", "paper", "benchmark set: paper (Table 1 rows) or extended (adds bubble/quick/mm/whetstone/ackermann)")
+		only     = flag.String("only", "", "comma-separated benchmark programs (default: all)")
+		ksFlag   = flag.String("ks", "3,5,7,9", "register set sizes")
+		merge    = flag.Bool("merge-stmts", false, "merge per-statement regions (ablation)")
+		ablate   = flag.Bool("ablate", false, "compare RAP phase ablations")
+		csvOut   = flag.String("csv", "", "also write the rows as CSV to this file")
+		jsonOut  = flag.String("json", "", "write the Table 1 rows plus per-(program,k) wall clock as JSON (schema rap/bench/v1) to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
+		suite    = flag.String("suite", "paper", "benchmark set: paper (Table 1 rows) or extended (adds bubble/quick/mm/whetstone/ackermann)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the (program,k) comparison units; 1 = sequential (output is identical either way)")
 	)
 	flag.Parse()
 	ks, err := core.ParseKs(*ksFlag)
@@ -77,7 +79,7 @@ func main() {
 	}()
 
 	if *ablate {
-		runAblation(ks, names)
+		runAblation(ks, names, *parallel)
 		return
 	}
 
@@ -87,7 +89,7 @@ func main() {
 	} else if *suite != "paper" {
 		fatal(fmt.Errorf("unknown -suite %q", *suite))
 	}
-	cfg := core.CompareConfig{Lower: lower.Options{MergeStatements: *merge}}
+	cfg := core.CompareConfig{Lower: lower.Options{MergeStatements: *merge}, Parallel: *parallel}
 	var metrics *obs.Metrics
 	if *jsonOut != "" {
 		metrics = obs.NewMetrics()
@@ -122,7 +124,7 @@ func main() {
 // runAblation reports the suite-average percentage decrease under each
 // RAP configuration, quantifying what spill motion (§3.2), the Fig. 6
 // peephole (§3.3) and the per-statement regions contribute.
-func runAblation(ks []int, names []string) {
+func runAblation(ks []int, names []string, parallel int) {
 	configs := []struct {
 		label string
 		cfg   core.CompareConfig
@@ -143,6 +145,7 @@ func runAblation(ks []int, names []string) {
 	}
 	fmt.Printf(" %8s\n", "overall")
 	for _, c := range configs {
+		c.cfg.Parallel = parallel
 		rows, err := bench.Table1(ks, c.cfg, names...)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", c.label, err))

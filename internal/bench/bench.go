@@ -13,8 +13,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Program is one benchmark program and the routines Table 1 reports on.
@@ -107,7 +110,19 @@ func Table1(ks []int, cfg core.CompareConfig, only ...string) ([]Row, error) {
 
 // Measure runs the comparison over an arbitrary program set (Programs()
 // for the paper's table, append ExtraPrograms() for the extended suite).
+// With cfg.Parallel > 1 the independent (program, k) units fan out over a
+// bounded worker pool; rows are re-assembled in program-major order and
+// worker metrics merge back at the join, so the result — rows, Table 1
+// text, and metrics snapshot — is identical to the sequential run's.
 func Measure(progs []Program, ks []int, cfg core.CompareConfig, only ...string) ([]Row, error) {
+	return measure(progs, ks, cfg, nil, only...)
+}
+
+// measure is the shared harness behind Measure and MeasureTimed. The unit
+// of work is one (program, k) comparison; the unallocated reference for
+// each program is compiled once (guarded by a sync.Once so concurrent
+// units of the same program share it) and is read-only afterwards.
+func measure(progs []Program, ks []int, cfg core.CompareConfig, m *obs.Metrics, only ...string) ([]Row, error) {
 	if len(ks) == 0 {
 		ks = Ks
 	}
@@ -115,23 +130,96 @@ func Measure(progs []Program, ks []int, cfg core.CompareConfig, only ...string) 
 	for _, n := range only {
 		wanted[n] = true
 	}
-	var rows []Row
+	var sel []Program
 	for _, prog := range progs {
 		if len(wanted) > 0 && !wanted[prog.Name] {
 			continue
 		}
+		sel = append(sel, prog)
+	}
+
+	refs := make([]*core.RefRun, len(sel))
+	refErrs := make([]error, len(sel))
+	refOnce := make([]sync.Once, len(sel))
+	getRef := func(pi int, pcfg core.CompareConfig) (*core.RefRun, error) {
+		refOnce[pi].Do(func() {
+			refs[pi], refErrs[pi] = core.CompileRef(sel[pi].Source, pcfg)
+		})
+		return refs[pi], refErrs[pi]
+	}
+
+	nu := len(sel) * len(ks)
+	results := make([][]core.Measurement, nu)
+	errs := make([]error, nu)
+	// run executes unit u = (program u/len(ks), k u%len(ks)) with the
+	// given tracer. Units write only their own results/errs slot; the
+	// metrics registry and the reference table serialize internally.
+	run := func(u int, tr *obs.Tracer) {
+		pi, ki := u/len(ks), u%len(ks)
+		prog, k := sel[pi], ks[ki]
 		pcfg := cfg
 		pcfg.Funcs = prog.Funcs
-		ms, err := core.Compare(prog.Source, ks, pcfg)
+		pcfg.Trace = tr
+		start := time.Now()
+		ref, err := getRef(pi, pcfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", prog.Name, err)
+			errs[u] = fmt.Errorf("%s: %w", prog.Name, err)
+			return
 		}
-		byFunc := map[string]map[int]core.Measurement{}
-		for _, m := range ms {
-			if byFunc[m.Func] == nil {
-				byFunc[m.Func] = map[int]core.Measurement{}
+		ms, err := core.CompareAtK(prog.Source, k, pcfg, ref)
+		if err != nil {
+			errs[u] = fmt.Errorf("%s: %w", prog.Name, err)
+			return
+		}
+		results[u] = ms
+		if m != nil {
+			m.Observe(fmt.Sprintf("bench.%s.k%d", prog.Name, k), time.Since(start))
+		}
+	}
+
+	if cfg.Parallel > 1 && nu > 1 {
+		sem := make(chan struct{}, cfg.Parallel)
+		workers := make([]*obs.Tracer, nu)
+		var wg sync.WaitGroup
+		for u := 0; u < nu; u++ {
+			tr := cfg.Trace.Fork()
+			workers[u] = tr
+			wg.Add(1)
+			go func(u int, tr *obs.Tracer) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				run(u, tr)
+			}(u, tr)
+		}
+		wg.Wait()
+		for _, w := range workers {
+			cfg.Trace.Join(w)
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
 			}
-			byFunc[m.Func][m.K] = m
+		}
+	} else {
+		for u := 0; u < nu; u++ {
+			run(u, cfg.Trace)
+			if errs[u] != nil {
+				return nil, errs[u]
+			}
+		}
+	}
+
+	var rows []Row
+	for pi, prog := range sel {
+		byFunc := map[string]map[int]core.Measurement{}
+		for ki := range ks {
+			for _, mm := range results[pi*len(ks)+ki] {
+				if byFunc[mm.Func] == nil {
+					byFunc[mm.Func] = map[int]core.Measurement{}
+				}
+				byFunc[mm.Func][mm.K] = mm
+			}
 		}
 		for _, fn := range prog.Funcs {
 			if byFunc[fn] == nil {

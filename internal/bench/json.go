@@ -2,9 +2,7 @@ package bench
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -103,49 +101,15 @@ func WriteJSON(w io.Writer, rows []Row, ks []int, m *obs.Metrics) error {
 // comparison's wall clock into m as a timing named
 // "bench.<program>.k<k>" and threading m's tracer context through the
 // compilations, so the report's metrics snapshot attributes time to
-// pipeline phases as well as benchmarks.
+// pipeline phases as well as benchmarks. The unallocated reference is
+// compiled once per program and shared across its ks; its cost lands in
+// the first unit's wall clock.
 func MeasureTimed(progs []Program, ks []int, cfg core.CompareConfig, m *obs.Metrics, only ...string) ([]Row, error) {
 	if m == nil {
 		return Measure(progs, ks, cfg, only...)
 	}
-	if len(ks) == 0 {
-		ks = Ks
-	}
-	wanted := map[string]bool{}
-	for _, n := range only {
-		wanted[n] = true
-	}
 	if cfg.Trace == nil {
 		cfg.Trace = obs.New().WithMetrics(m)
 	}
-	var rows []Row
-	for _, prog := range progs {
-		if len(wanted) > 0 && !wanted[prog.Name] {
-			continue
-		}
-		pcfg := cfg
-		pcfg.Funcs = prog.Funcs
-		byFunc := map[string]map[int]core.Measurement{}
-		for _, k := range ks {
-			start := time.Now()
-			ms, err := core.Compare(prog.Source, []int{k}, pcfg)
-			m.Observe(fmt.Sprintf("bench.%s.k%d", prog.Name, k), time.Since(start))
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", prog.Name, err)
-			}
-			for _, mm := range ms {
-				if byFunc[mm.Func] == nil {
-					byFunc[mm.Func] = map[int]core.Measurement{}
-				}
-				byFunc[mm.Func][mm.K] = mm
-			}
-		}
-		for _, fn := range prog.Funcs {
-			if byFunc[fn] == nil {
-				continue
-			}
-			rows = append(rows, Row{Program: prog.Name, Func: fn, ByK: byFunc[fn]})
-		}
-	}
-	return rows, nil
+	return measure(progs, ks, cfg, m, only...)
 }

@@ -1,0 +1,82 @@
+package bench_test
+
+// The parallel harness contract: fanning the (program, k) units over a
+// worker pool changes wall clock only. Rows, Table 1 text, and the
+// deterministic half of the metrics snapshot must be byte-identical to a
+// sequential run.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+func subset() ([]bench.Program, []int, []string) {
+	return bench.Programs(), []int{3, 7}, []string{"sieve", "hanoi", "perm"}
+}
+
+func TestMeasureParallelMatchesSequential(t *testing.T) {
+	progs, ks, only := subset()
+	seq, err := bench.Measure(progs, ks, core.CompareConfig{}, only...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := bench.Measure(progs, ks, core.CompareConfig{Parallel: 4}, only...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel rows differ from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if s, p := bench.Format(seq, ks), bench.Format(par, ks); s != p {
+		t.Fatalf("parallel Table 1 text differs:\n%s\nvs\n%s", s, p)
+	}
+}
+
+func TestMeasureTimedParallelMetricsIdentical(t *testing.T) {
+	progs, ks, only := subset()
+	run := func(parallel int) obs.Snapshot {
+		m := obs.NewMetrics()
+		if _, err := bench.MeasureTimed(progs, ks, core.CompareConfig{Parallel: parallel}, m, only...); err != nil {
+			t.Fatal(err)
+		}
+		return m.Snapshot()
+	}
+	seq, par := run(1), run(4)
+	// Counters are deterministic; timings are wall clock and excluded.
+	if !reflect.DeepEqual(seq.Counters, par.Counters) {
+		for k, v := range seq.Counters {
+			if par.Counters[k] != v {
+				t.Errorf("counter %s: sequential %d, parallel %d", k, v, par.Counters[k])
+			}
+		}
+		for k, v := range par.Counters {
+			if _, ok := seq.Counters[k]; !ok {
+				t.Errorf("counter %s: only in parallel run (%d)", k, v)
+			}
+		}
+		t.Fatal("parallel metrics counters differ from sequential")
+	}
+}
+
+// TestCompareParallelMatchesSequential exercises core.Compare's own
+// per-k fan (bench drives CompareAtK directly, so this path is only
+// reachable through Compare's public API).
+func TestCompareParallelMatchesSequential(t *testing.T) {
+	prog := bench.ProgramByName("sieve")
+	ks := []int{3, 5, 7, 9}
+	seq, err := core.Compare(prog.Source, ks, core.CompareConfig{Funcs: prog.Funcs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.Compare(prog.Source, ks, core.CompareConfig{Funcs: prog.Funcs, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("core.Compare parallel measurements differ:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

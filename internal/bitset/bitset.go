@@ -31,6 +31,19 @@ func NewBatch(count, n int) []*Set {
 // Add inserts i into the set. It panics if i is out of range.
 func (s *Set) Add(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
 
+// Grow extends the set's capacity to at least n elements, preserving
+// contents. It never shrinks. The zero Set is valid and grows from
+// capacity 0, which lets callers embed Set by value and size it lazily.
+func (s *Set) Grow(n int) {
+	need := (n + 63) / 64
+	for len(s.words) < need {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Cap returns the element capacity (a multiple of 64).
+func (s *Set) Cap() int { return len(s.words) * 64 }
+
 // Remove deletes i from the set.
 func (s *Set) Remove(i int) { s.words[i>>6] &^= 1 << (uint(i) & 63) }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -243,6 +244,12 @@ type CompareConfig struct {
 	Rematerialize bool
 	// Funcs restricts measurement to these routines (nil = all executed).
 	Funcs []string
+	// Parallel bounds the worker pool the comparison fans its per-k
+	// compilation+interpretation units over; 0 or 1 means sequential.
+	// Every (program, k) unit is independent, results are re-assembled
+	// in deterministic order, and metrics counters are merged at the
+	// join, so the output is byte-identical to a sequential run.
+	Parallel int
 	// Trace observes every compilation the comparison performs (the
 	// measured interpreter runs stay untraced so per-function counters
 	// are not mixed across allocators).
@@ -277,61 +284,129 @@ func staticSize(f *ir.Function) int {
 	return n
 }
 
+// RefRun is a compiled and executed unallocated reference program — the
+// oracle both allocators are validated against. One RefRun may be shared
+// by any number of concurrent CompareAtK calls; it is read-only after
+// CompileRef returns.
+type RefRun struct {
+	Prog *ir.Program
+	Res  *interp.Result
+}
+
+// CompileRef builds and runs the unallocated reference for src.
+func CompileRef(src string, cfg CompareConfig) (*RefRun, error) {
+	ref, err := Compile(src, Config{Lower: cfg.Lower, Trace: cfg.Trace})
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(ref)
+	if err != nil {
+		return nil, fmt.Errorf("unallocated run: %w", err)
+	}
+	return &RefRun{Prog: ref, Res: res}, nil
+}
+
+// CompareAtK measures one register set size against a prepared
+// reference: compile src under GRA and RAP at k, run both, verify
+// behaviour, and report per-routine statistics. It is the unit of work
+// the parallel harness fans out.
+func CompareAtK(src string, k int, cfg CompareConfig, ref *RefRun) ([]Measurement, error) {
+	graProg, err := Compile(src, Config{Allocator: AllocGRA, K: k, Lower: cfg.Lower, GRAPeephole: cfg.GRAPeephole, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize, Trace: cfg.Trace})
+	if err != nil {
+		return nil, fmt.Errorf("gra k=%d: %w", k, err)
+	}
+	graRes, err := Run(graProg)
+	if err != nil {
+		return nil, fmt.Errorf("gra k=%d run: %w", k, err)
+	}
+	if err := testutil.SameBehaviour(ref.Res, graRes); err != nil {
+		return nil, fmt.Errorf("gra k=%d changed behaviour: %w", k, err)
+	}
+	rapProg, err := Compile(src, Config{Allocator: AllocRAP, K: k, Lower: cfg.Lower, RAP: cfg.RAP, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize, Trace: cfg.Trace})
+	if err != nil {
+		return nil, fmt.Errorf("rap k=%d: %w", k, err)
+	}
+	rapRes, err := Run(rapProg)
+	if err != nil {
+		return nil, fmt.Errorf("rap k=%d run: %w", k, err)
+	}
+	if err := testutil.SameBehaviour(ref.Res, rapRes); err != nil {
+		return nil, fmt.Errorf("rap k=%d changed behaviour: %w", k, err)
+	}
+	names := cfg.Funcs
+	if names == nil {
+		names = graRes.FuncNames()
+	}
+	var out []Measurement
+	for _, name := range names {
+		g, r := graRes.PerFunc[name], rapRes.PerFunc[name]
+		if g == nil || r == nil {
+			continue
+		}
+		out = append(out, Measurement{
+			Func: name, K: k, GRA: *g, RAP: *r,
+			GRASpillOps: staticSpillOps(graProg.Func(name)),
+			RAPSpillOps: staticSpillOps(rapProg.Func(name)),
+			GRASize:     staticSize(graProg.Func(name)),
+			RAPSize:     staticSize(rapProg.Func(name)),
+		})
+	}
+	return out, nil
+}
+
 // Compare compiles src under GRA and RAP for each register set size and
 // measures per-routine executed cycles, loads, stores and copies. It
 // verifies that both allocations preserve the unallocated program's
 // behaviour and returns measurements keyed in the order: for each k, each
 // measured routine sorted by name.
+//
+// With cfg.Parallel > 1 the per-k units run concurrently on a bounded
+// worker pool; results are re-assembled in k order and each worker's
+// metrics registry is merged back at the join, so the returned
+// measurements — and any attached metrics snapshot — are identical to
+// the sequential run's.
 func Compare(src string, ks []int, cfg CompareConfig) ([]Measurement, error) {
-	ref, err := Compile(src, Config{Lower: cfg.Lower, Trace: cfg.Trace})
+	ref, err := CompileRef(src, cfg)
 	if err != nil {
 		return nil, err
 	}
-	refRes, err := Run(ref)
-	if err != nil {
-		return nil, fmt.Errorf("unallocated run: %w", err)
+	perK := make([][]Measurement, len(ks))
+	if cfg.Parallel > 1 && len(ks) > 1 {
+		errs := make([]error, len(ks))
+		workers := make([]*obs.Tracer, len(ks))
+		sem := make(chan struct{}, cfg.Parallel)
+		var wg sync.WaitGroup
+		for i, k := range ks {
+			wcfg := cfg
+			wcfg.Trace = cfg.Trace.Fork()
+			workers[i] = wcfg.Trace
+			wg.Add(1)
+			go func(i, k int, wcfg CompareConfig) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				perK[i], errs[i] = CompareAtK(src, k, wcfg, ref)
+			}(i, k, wcfg)
+		}
+		wg.Wait()
+		for _, w := range workers {
+			cfg.Trace.Join(w)
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i, k := range ks {
+			if perK[i], err = CompareAtK(src, k, cfg, ref); err != nil {
+				return nil, err
+			}
+		}
 	}
 	var out []Measurement
-	for _, k := range ks {
-		graProg, err := Compile(src, Config{Allocator: AllocGRA, K: k, Lower: cfg.Lower, GRAPeephole: cfg.GRAPeephole, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize, Trace: cfg.Trace})
-		if err != nil {
-			return nil, fmt.Errorf("gra k=%d: %w", k, err)
-		}
-		graRes, err := Run(graProg)
-		if err != nil {
-			return nil, fmt.Errorf("gra k=%d run: %w", k, err)
-		}
-		if err := testutil.SameBehaviour(refRes, graRes); err != nil {
-			return nil, fmt.Errorf("gra k=%d changed behaviour: %w", k, err)
-		}
-		rapProg, err := Compile(src, Config{Allocator: AllocRAP, K: k, Lower: cfg.Lower, RAP: cfg.RAP, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize, Trace: cfg.Trace})
-		if err != nil {
-			return nil, fmt.Errorf("rap k=%d: %w", k, err)
-		}
-		rapRes, err := Run(rapProg)
-		if err != nil {
-			return nil, fmt.Errorf("rap k=%d run: %w", k, err)
-		}
-		if err := testutil.SameBehaviour(refRes, rapRes); err != nil {
-			return nil, fmt.Errorf("rap k=%d changed behaviour: %w", k, err)
-		}
-		names := cfg.Funcs
-		if names == nil {
-			names = graRes.FuncNames()
-		}
-		for _, name := range names {
-			g, r := graRes.PerFunc[name], rapRes.PerFunc[name]
-			if g == nil || r == nil {
-				continue
-			}
-			out = append(out, Measurement{
-				Func: name, K: k, GRA: *g, RAP: *r,
-				GRASpillOps: staticSpillOps(graProg.Func(name)),
-				RAPSpillOps: staticSpillOps(rapProg.Func(name)),
-				GRASize:     staticSize(graProg.Func(name)),
-				RAPSize:     staticSize(rapProg.Func(name)),
-			})
-		}
+	for _, ms := range perK {
+		out = append(out, ms...)
 	}
 	return out, nil
 }

@@ -38,14 +38,20 @@ func ComputeLiveness(g *cfg.Graph) *Liveness {
 		LiveOut: batch[n:],
 		NumRegs: numRegs,
 	}
-	// Precompute use/def per instruction.
+	// Precompute use/def per instruction. The per-instruction use lists
+	// are slices of one flat arena (grown by appending each instruction's
+	// uses in order) instead of n separate allocations.
 	uses := make([][]ir.Reg, n)
 	defs := make([]ir.Reg, n)
-	var buf []ir.Reg
+	offs := make([]int32, n+1)
+	var flat []ir.Reg
 	for i, in := range f.Instrs {
-		buf = in.Uses(buf[:0])
-		uses[i] = append([]ir.Reg(nil), buf...)
+		flat = in.Uses(flat)
+		offs[i+1] = int32(len(flat))
 		defs[i] = in.Def()
+	}
+	for i := range uses {
+		uses[i] = flat[offs[i]:offs[i+1]:offs[i+1]]
 	}
 	nb := len(g.Blocks)
 	if nb == 0 {
@@ -125,7 +131,11 @@ type DefUse struct {
 	usesAt  [][]ir.Reg
 	defAt   []ir.Reg
 	reached map[defKey][]int
-	visited []bool
+	// visited/gen implement O(1) per-query reset: a slot is visited in
+	// the current walk iff visited[i] == gen. Bumping gen invalidates
+	// every slot without touching the slice.
+	visited []int32
+	gen     int32
 }
 
 type defKey struct {
@@ -145,28 +155,36 @@ func ComputeDefUse(g *cfg.Graph) *DefUse {
 		usesAt:  make([][]ir.Reg, n),
 		defAt:   make([]ir.Reg, n),
 		reached: map[defKey][]int{},
-		visited: make([]bool, n),
+		visited: make([]int32, n),
 	}
-	var buf []ir.Reg
+	// The deduplicated per-instruction use lists are slices of one flat
+	// arena rather than n separate allocations.
+	offs := make([]int32, n+1)
+	var flat, buf []ir.Reg
 	for i, in := range f.Instrs {
 		buf = in.Uses(buf[:0])
+		start := len(flat)
 		for _, u := range buf {
 			dup := false
-			for _, prev := range du.usesAt[i] {
+			for _, prev := range flat[start:] {
 				if prev == u {
 					dup = true
 					break
 				}
 			}
 			if !dup {
-				du.usesAt[i] = append(du.usesAt[i], u)
+				flat = append(flat, u)
 				du.Uses[u] = append(du.Uses[u], i)
 			}
 		}
+		offs[i+1] = int32(len(flat))
 		du.defAt[i] = in.Def()
 		if d := du.defAt[i]; d != ir.None {
 			du.Defs[d] = append(du.Defs[d], i)
 		}
+	}
+	for i := range du.usesAt {
+		du.usesAt[i] = flat[offs[i]:offs[i+1]:offs[i+1]]
 	}
 	return du
 }
@@ -179,9 +197,7 @@ func (du *DefUse) ReachedUses(d int, r ir.Reg) []int {
 	if got, ok := du.reached[key]; ok {
 		return got
 	}
-	for i := range du.visited {
-		du.visited[i] = false
-	}
+	du.gen++
 	usesReg := func(i int) bool {
 		for _, u := range du.usesAt[i] {
 			if u == r {
@@ -195,10 +211,10 @@ func (du *DefUse) ReachedUses(d int, r ir.Reg) []int {
 	for len(stack) > 0 {
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if du.visited[i] {
+		if du.visited[i] == du.gen {
 			continue
 		}
-		du.visited[i] = true
+		du.visited[i] = du.gen
 		if usesReg(i) {
 			reached = append(reached, i)
 		}

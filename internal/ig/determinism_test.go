@@ -1,0 +1,85 @@
+package ig_test
+
+// Pins the optimistic-colouring victim order: the fallback must pick the
+// cheapest spill cost, breaking ties on the lowest node key — the
+// contract the dense implementation's spill heap documents, and the order
+// the original scan (strict <, key-sorted traversal) produced.
+
+import (
+	"testing"
+
+	"repro/internal/ig"
+	"repro/internal/ir"
+)
+
+// complete builds K_n over registers 1..n with the given spill costs.
+func complete(costs map[ir.Reg]float64, n int) *ig.Graph {
+	g := ig.New()
+	for a := 1; a <= n; a++ {
+		for b := a + 1; b <= n; b++ {
+			g.AddEdge(ir.Reg(a), ir.Reg(b))
+		}
+	}
+	for r, c := range costs {
+		g.NodeOf(r).SpillCost = c
+	}
+	return g
+}
+
+func spilled(res ig.ColorResult) string {
+	s := ""
+	for _, n := range res.Spilled {
+		s += n.Key().String() + " "
+	}
+	return s
+}
+
+func TestColorSpillPickDeterminism(t *testing.T) {
+	cases := []struct {
+		name  string
+		costs map[ir.Reg]float64
+		want  string // spilled keys in select-failure order
+	}{
+		// All costs equal: the lowest key is the first optimistic victim
+		// and the one that fails to colour.
+		{"equal costs", map[ir.Reg]float64{1: 1, 2: 1, 3: 1, 4: 1}, "r1 "},
+		// A unique cheapest node spills regardless of key order.
+		{"unique cheapest", map[ir.Reg]float64{1: 2, 2: 2, 3: 0.5, 4: 2}, "r3 "},
+		// Two nodes tie for cheapest: the lower key loses.
+		{"tied cheapest", map[ir.Reg]float64{1: 2, 2: 0.5, 3: 0.5, 4: 2}, "r2 "},
+	}
+	for _, tc := range cases {
+		g := complete(tc.costs, 4)
+		// The same graph must colour identically on every attempt: Color
+		// is a pure function of the graph (plus k), not of prior calls.
+		var first string
+		for attempt := 0; attempt < 3; attempt++ {
+			res := g.Color(3, false)
+			if got := spilled(res); got != tc.want {
+				t.Errorf("%s attempt %d: spilled %q, want %q", tc.name, attempt, got, tc.want)
+			}
+			render := g.String()
+			if attempt == 0 {
+				first = render
+			} else if render != first {
+				t.Errorf("%s attempt %d: colouring changed between identical calls:\n%s\nvs\n%s",
+					tc.name, attempt, render, first)
+			}
+		}
+	}
+}
+
+// TestColorFirstFitOrder pins the select phase: colours are assigned
+// first-fit walking the simplify stack backwards, so in an equal-cost K4
+// at k=3 the highest-keyed node (last into the trivial pool, first out of
+// the stack) gets colour 1.
+func TestColorFirstFitOrder(t *testing.T) {
+	g := complete(map[ir.Reg]float64{1: 1, 2: 1, 3: 1, 4: 1}, 4)
+	g.Color(3, false)
+	want := map[ir.Reg]int{4: 1, 3: 2, 2: 3, 1: 0}
+	for r, c := range want {
+		if got := g.NodeOf(r).Color; got != c {
+			t.Errorf("r%d coloured %d, want %d", r, got, c)
+		}
+	}
+}

@@ -4,6 +4,18 @@
 // decided can share one physical register — initially singletons; RAP's
 // combine step (§3.1.5) merges all same-coloured nodes of a region's graph
 // so that the summary handed to the parent region has at most k nodes.
+//
+// The graph is a dense arena: nodes carry stable integer ids assigned in
+// creation order, adjacency is one bitset row per node (indexed by
+// neighbour id), and the hot operations — edge insertion, Clone, Merge,
+// Combine and the simplify/select colouring — are slice-and-bitset work
+// with no pointer-keyed maps. The Fig. 2 loop (build → colour → spill →
+// combine) runs once per PDG region, so this representation is the
+// hottest code in the pipeline.
+//
+// Invariant: an adjacency row only ever holds ids of live nodes. Merge
+// and Remove scrub the dying node's id from every neighbour's row before
+// freeing its slot.
 package ig
 
 import (
@@ -12,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/bitset"
 	"repro/internal/ir"
 )
 
@@ -19,8 +32,6 @@ import (
 type Node struct {
 	// Regs holds the member virtual registers, sorted ascending.
 	Regs []ir.Reg
-	// Adj is the set of interfering nodes.
-	Adj map[*Node]bool
 	// SpillCost is the Chaitin-style cost of spilling this node;
 	// math.Inf(1) marks nodes that must not be spilled.
 	SpillCost float64
@@ -30,6 +41,13 @@ type Node struct {
 	// region under allocation (referenced outside it). Two global nodes
 	// may never share a colour (§3.1.3).
 	Global bool
+
+	// g/id tie the node to its graph's arena; adj is the bitset row of
+	// interfering node ids. A free-standing node (g == nil, as some tests
+	// construct) has no adjacency and degree 0.
+	g   *Graph
+	id  int
+	adj bitset.Set
 }
 
 // Key is the smallest member register; it identifies the node
@@ -48,7 +66,32 @@ func (n *Node) Has(r ir.Reg) bool {
 }
 
 // Degree is the number of interfering nodes.
-func (n *Node) Degree() int { return len(n.Adj) }
+func (n *Node) Degree() int { return n.adj.Len() }
+
+// Adjacent reports whether m interferes with n.
+func (n *Node) Adjacent(m *Node) bool {
+	if m == nil || n.g == nil || n.g != m.g {
+		return false
+	}
+	return n.adj.Has(m.id)
+}
+
+// ForEachAdj calls f for every node adjacent to n, in ascending id order
+// (ids follow node creation order, so the iteration is deterministic —
+// unlike the map ranging this replaced).
+func (n *Node) ForEachAdj(f func(*Node)) {
+	if n.g == nil {
+		return
+	}
+	n.adj.ForEach(func(id int) { f(n.g.nodes[id]) })
+}
+
+// AdjNodes returns the adjacent nodes in ascending id order.
+func (n *Node) AdjNodes() []*Node {
+	out := make([]*Node, 0, n.Degree())
+	n.ForEachAdj(func(m *Node) { out = append(out, m) })
+	return out
+}
 
 func (n *Node) addReg(r ir.Reg) {
 	i := sort.Search(len(n.Regs), func(i int) bool { return n.Regs[i] >= r })
@@ -63,29 +106,40 @@ func (n *Node) addReg(r ir.Reg) {
 // Graph is an interference graph.
 type Graph struct {
 	byReg map[ir.Reg]*Node
-	nodes map[*Node]bool
+	// nodes is the arena, indexed by node id; slots of merged or removed
+	// nodes are nil and ids are never reused within one graph's lifetime.
+	nodes []*Node
+	live  int
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{byReg: map[ir.Reg]*Node{}, nodes: map[*Node]bool{}}
+	return &Graph{byReg: map[ir.Reg]*Node{}}
 }
 
 // NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return g.live }
 
 // NodeOf returns the node containing r, or nil.
 func (g *Graph) NodeOf(r ir.Reg) *Node { return g.byReg[r] }
+
+// newNode appends a node to the arena.
+func (g *Graph) newNode(regs []ir.Reg) *Node {
+	n := &Node{Regs: regs, g: g, id: len(g.nodes)}
+	g.nodes = append(g.nodes, n)
+	g.live++
+	for _, r := range regs {
+		g.byReg[r] = n
+	}
+	return n
+}
 
 // Ensure returns the node containing r, creating a singleton if needed.
 func (g *Graph) Ensure(r ir.Reg) *Node {
 	if n, ok := g.byReg[r]; ok {
 		return n
 	}
-	n := &Node{Regs: []ir.Reg{r}, Adj: map[*Node]bool{}}
-	g.byReg[r] = n
-	g.nodes[n] = true
-	return n
+	return g.newNode([]ir.Reg{r})
 }
 
 // AddEdge records an interference between the nodes of a and b
@@ -100,8 +154,10 @@ func (g *Graph) AddNodeEdge(na, nb *Node) {
 	if na == nb {
 		return
 	}
-	na.Adj[nb] = true
-	nb.Adj[na] = true
+	na.adj.Grow(nb.id + 1)
+	na.adj.Add(nb.id)
+	nb.adj.Grow(na.id + 1)
+	nb.adj.Add(na.id)
 }
 
 // Interferes reports whether registers a and b are in interfering nodes.
@@ -110,14 +166,16 @@ func (g *Graph) Interferes(a, b ir.Reg) bool {
 	if na == nil || nb == nil || na == nb {
 		return false
 	}
-	return na.Adj[nb]
+	return na.adj.Has(nb.id)
 }
 
 // Nodes returns the nodes sorted by Key for deterministic iteration.
 func (g *Graph) Nodes() []*Node {
-	out := make([]*Node, 0, len(g.nodes))
-	for n := range g.nodes {
-		out = append(out, n)
+	out := make([]*Node, 0, g.live)
+	for _, n := range g.nodes {
+		if n != nil {
+			out = append(out, n)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
 	return out
@@ -143,15 +201,17 @@ func (g *Graph) Merge(a, b *Node) {
 		a.addReg(r)
 		g.byReg[r] = a
 	}
-	for nb := range b.Adj {
-		delete(nb.Adj, b)
+	b.adj.ForEach(func(id int) {
+		nb := g.nodes[id]
+		nb.adj.Remove(b.id)
 		if nb != a {
-			nb.Adj[a] = true
-			a.Adj[nb] = true
+			g.AddNodeEdge(a, nb)
 		}
-	}
+	})
 	a.Global = a.Global || b.Global
-	delete(g.nodes, b)
+	g.nodes[b.id] = nil
+	g.live--
+	b.g = nil
 }
 
 // AddRegToNode makes r a member of node n. If r already belongs to a
@@ -169,13 +229,15 @@ func (g *Graph) AddRegToNode(n *Node, r ir.Reg) {
 
 // Remove deletes node n and its edges from the graph.
 func (g *Graph) Remove(n *Node) {
-	for nb := range n.Adj {
-		delete(nb.Adj, n)
-	}
+	n.adj.ForEach(func(id int) {
+		g.nodes[id].adj.Remove(n.id)
+	})
 	for _, r := range n.Regs {
 		delete(g.byReg, r)
 	}
-	delete(g.nodes, n)
+	g.nodes[n.id] = nil
+	g.live--
+	n.g = nil
 }
 
 // RenameReg replaces register old with new inside its node (used when RAP
@@ -195,27 +257,31 @@ func (g *Graph) RenameReg(old, new ir.Reg) {
 	g.byReg[new] = n
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. Because the arena is dense,
+// this is a slot-for-slot slice copy — node ids are preserved — rather
+// than a pointer-map rebuild.
 func (g *Graph) Clone() *Graph {
-	cp := New()
-	m := map[*Node]*Node{}
-	for n := range g.nodes {
+	cp := &Graph{
+		byReg: make(map[ir.Reg]*Node, len(g.byReg)),
+		nodes: make([]*Node, len(g.nodes)),
+		live:  g.live,
+	}
+	for id, n := range g.nodes {
+		if n == nil {
+			continue
+		}
 		nn := &Node{
 			Regs:      append([]ir.Reg(nil), n.Regs...),
-			Adj:       map[*Node]bool{},
 			SpillCost: n.SpillCost,
 			Color:     n.Color,
 			Global:    n.Global,
+			g:         cp,
+			id:        id,
+			adj:       *n.adj.Clone(),
 		}
-		m[n] = nn
-		cp.nodes[nn] = true
+		cp.nodes[id] = nn
 		for _, r := range nn.Regs {
 			cp.byReg[r] = nn
-		}
-	}
-	for n := range g.nodes {
-		for a := range n.Adj {
-			m[n].Adj[m[a]] = true
 		}
 	}
 	return cp
@@ -230,9 +296,7 @@ func (g *Graph) String() string {
 			regs[i] = r.String()
 		}
 		var adj []string
-		for a := range n.Adj {
-			adj = append(adj, a.Key().String())
-		}
+		n.ForEachAdj(func(a *Node) { adj = append(adj, a.Key().String()) })
 		sort.Strings(adj)
 		flags := ""
 		if n.Global {
@@ -272,11 +336,11 @@ func (g *Graph) DOT(name string) string {
 		fmt.Fprintf(&b, "  n%d [%s];\n", i, attrs)
 	}
 	for _, n := range g.Nodes() {
-		for a := range n.Adj {
+		n.ForEachAdj(func(a *Node) {
 			if idOf[n] < idOf[a] {
 				fmt.Fprintf(&b, "  n%d -- n%d;\n", idOf[n], idOf[a])
 			}
-		}
+		})
 	}
 	b.WriteString("}\n")
 	return b.String()
@@ -293,6 +357,51 @@ type ColorResult struct {
 	Spilled []*Node
 }
 
+// nodeHeap is a binary min-heap of nodes under an arbitrary order,
+// hand-rolled to avoid container/heap's interface boxing on the colouring
+// hot path.
+type nodeHeap struct {
+	items []*Node
+	less  func(a, b *Node) bool
+}
+
+func (h *nodeHeap) push(n *Node) {
+	h.items = append(h.items, n)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() *Node {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.less(h.items[l], h.items[m]) {
+			m = l
+		}
+		if r < last && h.less(h.items[r], h.items[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+	return top
+}
+
 // Color colours the graph with at most k colours using simplify/select
 // with the Briggs et al. optimistic improvement: every node is pushed
 // (cheapest-spill-cost first when no trivially colourable node remains),
@@ -304,49 +413,85 @@ type ColorResult struct {
 //
 // Colours are assigned first-fit — the property the paper credits for
 // RAP's copy elimination (§4).
+//
+// The simplify phase is worklist-driven: a min-heap keyed on node Key
+// holds the trivially colourable pool (degree < k), entered exactly once
+// — at seeding, or the moment a neighbour's removal drops the degree to
+// k-1 — so each pick is O(log n) instead of the previous full rescan.
+// Ordering is identical to the old scan: always the lowest-keyed
+// trivially colourable node. The optimistic fallback pops a second heap
+// ordered by (SpillCost, Key) — a single pass replacing the old two-arm
+// scan, with the lowest key breaking spill-cost ties deterministically.
 func (g *Graph) Color(k int, globalsDistinct bool) ColorResult {
-	removed := map[*Node]bool{}
-	degree := map[*Node]int{}
-	for n := range g.nodes {
-		degree[n] = n.Degree()
-		n.Color = 0
-	}
-	live := len(g.nodes)
-	var stack []*Node
-
-	nodesSorted := g.Nodes()
-	push := func(n *Node) {
-		for a := range n.Adj {
-			if !removed[a] {
-				degree[a]--
-			}
+	slots := len(g.nodes)
+	degree := make([]int32, slots)
+	removed := make([]bool, slots)
+	for _, n := range g.nodes {
+		if n == nil {
+			continue
 		}
-		stack = append(stack, n)
-		removed[n] = true
-		live--
+		n.Color = 0
+		degree[n.id] = int32(n.adj.Len())
 	}
-	for live > 0 {
+
+	trivial := nodeHeap{less: func(a, b *Node) bool { return a.Key() < b.Key() }}
+	trivial.items = make([]*Node, 0, g.live)
+	for _, n := range g.nodes {
+		if n != nil && degree[n.id] < int32(k) {
+			trivial.push(n)
+		}
+	}
+	// The spill heap is built lazily: colourable graphs never need it.
+	var spillH *nodeHeap
+
+	stack := make([]*Node, 0, g.live)
+	push := func(n *Node) {
+		removed[n.id] = true
+		stack = append(stack, n)
+		n.adj.ForEach(func(id int) {
+			if removed[id] {
+				return
+			}
+			degree[id]--
+			if degree[id] == int32(k)-1 {
+				trivial.push(g.nodes[id])
+			}
+		})
+	}
+	for remaining := g.live; remaining > 0; remaining-- {
 		// Remove a trivially colourable node (degree < k; deterministically
 		// the lowest key). When none remains, push the cheapest-spill-cost
 		// node anyway and let the select phase decide (optimistic
 		// colouring) — this ordering is what makes "the nodes with the
-		// most expensive spill cost ... colored first" (§3.1.3).
+		// most expensive spill cost ... colored first" (§3.1.3). On equal
+		// spill costs the lowest key wins, so the victim order is a pure
+		// function of the graph.
 		var pick *Node
-		for _, n := range nodesSorted {
-			if !removed[n] && degree[n] < k {
-				pick = n
+		for len(trivial.items) > 0 {
+			if c := trivial.pop(); !removed[c.id] {
+				pick = c
 				break
 			}
 		}
 		if pick == nil {
-			best := math.Inf(1)
-			for _, n := range nodesSorted {
-				if removed[n] {
-					continue
+			if spillH == nil {
+				spillH = &nodeHeap{less: func(a, b *Node) bool {
+					if a.SpillCost != b.SpillCost {
+						return a.SpillCost < b.SpillCost
+					}
+					return a.Key() < b.Key()
+				}}
+				spillH.items = make([]*Node, 0, int(remaining))
+				for _, n := range g.nodes {
+					if n != nil && !removed[n.id] {
+						spillH.push(n)
+					}
 				}
-				if pick == nil || n.SpillCost < best {
-					pick = n
-					best = n.SpillCost
+			}
+			for len(spillH.items) > 0 {
+				if c := spillH.pop(); !removed[c.id] {
+					pick = c
+					break
 				}
 			}
 		}
@@ -354,18 +499,20 @@ func (g *Graph) Color(k int, globalsDistinct bool) ColorResult {
 	}
 
 	var res ColorResult
-	globalColors := map[int]bool{}
+	globalColors := make([]bool, k+1)
+	used := make([]int32, k+1)
+	var stamp int32
 	for i := len(stack) - 1; i >= 0; i-- {
 		n := stack[i]
-		used := map[int]bool{}
-		for a := range n.Adj {
-			if a.Color != 0 {
-				used[a.Color] = true
+		stamp++
+		n.adj.ForEach(func(id int) {
+			if c := g.nodes[id].Color; c >= 1 && c <= k {
+				used[c] = stamp
 			}
-		}
+		})
 		color := 0
 		for c := 1; c <= k; c++ {
-			if used[c] {
+			if used[c] == stamp {
 				continue
 			}
 			if globalsDistinct && n.Global && globalColors[c] {
@@ -392,24 +539,18 @@ func (g *Graph) Color(k int, globalsDistinct bool) ColorResult {
 // nodes.
 func (g *Graph) Combine() *Graph {
 	out := New()
+	nodes := g.Nodes()
 	byColor := map[int]*Node{}
-	for _, n := range g.Nodes() {
+	for _, n := range nodes {
 		if n.Color == 0 {
 			continue
 		}
 		target, ok := byColor[n.Color]
 		if !ok {
-			target = &Node{
-				Regs:   append([]ir.Reg(nil), n.Regs...),
-				Adj:    map[*Node]bool{},
-				Color:  n.Color,
-				Global: n.Global,
-			}
+			target = out.newNode(append([]ir.Reg(nil), n.Regs...))
+			target.Color = n.Color
+			target.Global = n.Global
 			byColor[n.Color] = target
-			out.nodes[target] = true
-			for _, r := range target.Regs {
-				out.byReg[r] = target
-			}
 		} else {
 			for _, r := range n.Regs {
 				target.addReg(r)
@@ -419,16 +560,16 @@ func (g *Graph) Combine() *Graph {
 		}
 	}
 	// Edges: combined nodes interfere if any members did.
-	for _, n := range g.Nodes() {
+	for _, n := range nodes {
 		if n.Color == 0 {
 			continue
 		}
-		for a := range n.Adj {
+		n.ForEachAdj(func(a *Node) {
 			if a.Color == 0 || a.Color == n.Color {
-				continue
+				return
 			}
 			out.AddNodeEdge(byColor[n.Color], byColor[a.Color])
-		}
+		})
 	}
 	return out
 }
@@ -442,10 +583,14 @@ func (g *Graph) CheckColoring(k int, globalsDistinct bool) error {
 		if n.Color < 1 || n.Color > k {
 			return fmt.Errorf("node %s has colour %d outside [1,%d]", n.Key(), n.Color, k)
 		}
-		for a := range n.Adj {
-			if a.Color == n.Color {
-				return fmt.Errorf("adjacent nodes %s and %s share colour %d", n.Key(), a.Key(), n.Color)
+		var clash *Node
+		n.ForEachAdj(func(a *Node) {
+			if clash == nil && a.Color == n.Color {
+				clash = a
 			}
+		})
+		if clash != nil {
+			return fmt.Errorf("adjacent nodes %s and %s share colour %d", n.Key(), clash.Key(), n.Color)
 		}
 		if globalsDistinct && n.Global {
 			if prev, ok := globalColors[n.Color]; ok && prev != n {

@@ -282,7 +282,7 @@ func TestMergePreservesMembership(t *testing.T) {
 			a := ir.Reg(1 + rng.Intn(n))
 			b := ir.Reg(1 + rng.Intn(n))
 			na, nb := g.NodeOf(a), g.NodeOf(b)
-			if na == nb || na.Adj[nb] {
+			if na == nb || na.Adjacent(nb) {
 				continue
 			}
 			g.Merge(na, nb)

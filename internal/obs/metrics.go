@@ -54,6 +54,26 @@ func (m *Metrics) Observe(phase string, d time.Duration) {
 	m.mu.Unlock()
 }
 
+// Merge adds every counter and timing of other into m — the join half of
+// the per-worker-registry pattern the parallel harness uses (each worker
+// accumulates into a private registry, merged back in deterministic
+// order at the join). Because counters are monotonic sums, the merged
+// registry is identical to one the same work had written sequentially.
+func (m *Metrics) Merge(other *Metrics) {
+	if m == nil || other == nil || m == other {
+		return
+	}
+	s := other.Snapshot()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range s.Counters {
+		m.counters[k] += v
+	}
+	for k, v := range s.TimingsNS {
+		m.timings[k] += time.Duration(v)
+	}
+}
+
 // Snapshot is a point-in-time copy of the registry in its stable JSON
 // form. Counters are deterministic for a deterministic compilation;
 // timings are wall-clock and vary run to run, which is why they live in

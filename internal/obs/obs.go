@@ -65,6 +65,30 @@ func (t *Tracer) Metrics() *Metrics {
 	return t.m
 }
 
+// Fork returns the tracer one worker of a parallel phase should use:
+// the same sinks (they serialize internally), but a private metrics
+// registry so workers do not contend on one mutex and the parent's
+// registry only ever sees whole-worker contributions. Join merges the
+// fork back. A tracer without a registry (or nil) forks to itself —
+// sharing is already safe and there is nothing to merge.
+func (t *Tracer) Fork() *Tracer {
+	if t == nil || t.m == nil {
+		return t
+	}
+	return &Tracer{sinks: t.sinks, m: NewMetrics()}
+}
+
+// Join merges a Fork'ed worker tracer's metrics back into t. Joining
+// workers in deterministic order after all have finished yields a
+// registry identical to the sequential run's (counter addition
+// commutes).
+func (t *Tracer) Join(w *Tracer) {
+	if t == nil || w == nil || w == t {
+		return
+	}
+	t.m.Merge(w.m)
+}
+
 // Enabled reports whether emitting is worthwhile: call sites use it to
 // skip constructing events when nobody is listening.
 func (t *Tracer) Enabled() bool {

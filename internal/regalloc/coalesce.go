@@ -33,7 +33,7 @@ func CoalesceConservative(instrs []*ir.Instr, g *ig.Graph, k int, globalsMatter 
 				continue
 			}
 			a, b := g.NodeOf(src), g.NodeOf(dst)
-			if a == nil || b == nil || a == b || a.Adj[b] {
+			if a == nil || b == nil || a == b || a.Adjacent(b) {
 				continue
 			}
 			if globalsMatter && a.Global && b.Global {
@@ -56,22 +56,22 @@ func CoalesceConservative(instrs []*ir.Instr, g *ig.Graph, k int, globalsMatter 
 // merge).
 func briggsSafe(a, b *ig.Node, k int) bool {
 	significant := 0
-	for n := range a.Adj {
+	a.ForEachAdj(func(n *ig.Node) {
 		deg := n.Degree()
-		if b.Adj[n] {
+		if b.Adjacent(n) {
 			deg-- // n loses one edge when a and b fuse
 		}
 		if deg >= k {
 			significant++
 		}
-	}
-	for n := range b.Adj {
-		if a.Adj[n] {
-			continue // already counted
+	})
+	b.ForEachAdj(func(n *ig.Node) {
+		if a.Adjacent(n) {
+			return // already counted
 		}
 		if n.Degree() >= k {
 			significant++
 		}
-	}
+	})
 	return significant < k
 }

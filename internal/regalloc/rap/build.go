@@ -117,9 +117,10 @@ func (a *allocator) buildRegionGraph(V *ir.Region) *ig.Graph {
 		resolve := func(n *ig.Node) *ig.Node { return gv.NodeOf(n.Regs[0]) }
 		// Subregion edges carry over.
 		for _, n := range gs.Nodes() {
-			for adj := range n.Adj {
-				gv.AddNodeEdge(resolve(n), resolve(adj))
-			}
+			rn := resolve(n)
+			n.ForEachAdj(func(adj *ig.Node) {
+				gv.AddNodeEdge(rn, resolve(adj))
+			})
 		}
 		// Fig. 4's live-in rule: a register live on entrance to the
 		// subregion but not referenced in it interferes with every node

@@ -96,7 +96,7 @@ func (a *allocator) calcSpillCosts(V *ir.Region, gv *ig.Graph) {
 		deg := n.Degree()
 		if n.Global {
 			for _, m := range nodes {
-				if m == n || !m.Global || n.Adj[m] {
+				if m == n || !m.Global || n.Adjacent(m) {
 					continue
 				}
 				deg++

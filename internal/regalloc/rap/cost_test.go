@@ -91,7 +91,7 @@ func TestCalcSpillCosts(t *testing.T) {
 	// x is global to the loop (defined in entry); the degree adjustment
 	// adds one per non-adjacent global pair.
 	for _, m := range gv.Nodes() {
-		if m != nx && m.Global && nx.Global && !nx.Adj[m] {
+		if m != nx && m.Global && nx.Global && !nx.Adjacent(m) {
 			deg++
 		}
 	}
@@ -110,7 +110,7 @@ func TestCalcSpillCosts(t *testing.T) {
 	}
 	degY := float64(ny.Degree())
 	for _, m := range gv.Nodes() {
-		if m != ny && m.Global && ny.Global && !ny.Adj[m] {
+		if m != ny && m.Global && ny.Global && !ny.Adjacent(m) {
 			degY++
 		}
 	}

@@ -66,7 +66,7 @@ func spillLoadsForA(t *testing.T, split bool) int {
 		}
 	}
 	// Force the spill of a at the entry region.
-	node := &ig.Node{Regs: []ir.Reg{1}, Adj: map[*ig.Node]bool{}}
+	node := &ig.Node{Regs: []ir.Reg{1}}
 	if err := al.insertSpillCode(f.Regions, []*ig.Node{node}); err != nil {
 		t.Fatal(err)
 	}
