@@ -11,6 +11,7 @@
 //
 //	pdgdump -what pdg -format dot prog.mc | dot -Tpng > pdg.png
 //	pdgdump -what regions prog.mc
+//	pdgdump -what ir -alloc rap -k 5 prog.mc   # allocated iloc
 package main
 
 import (
@@ -35,6 +36,8 @@ func main() {
 		format     = flag.String("format", "text", "output format for -what pdg: text or dot")
 		fn         = flag.String("func", "", "dump only this function (default: all)")
 		merge      = flag.Bool("merge-stmts", false, "merge per-statement regions")
+		allocFlag  = flag.String("alloc", "none", "allocate registers first: none, gra, rap, or naive")
+		k          = flag.Int("k", 5, "number of physical registers for -alloc")
 		metricsOut = flag.String("metrics", "", "write front-end/PDG-build timings (schema rap/metrics/v1) as JSON to this file")
 	)
 	flag.Parse()
@@ -63,7 +66,14 @@ func main() {
 			}
 		}()
 	}
-	p, err := core.Compile(string(src), core.Config{Lower: lower.Options{MergeStatements: *merge}, Trace: tracer})
+	cfg2 := core.Config{Lower: lower.Options{MergeStatements: *merge}, K: *k, Trace: tracer}
+	if cfg2.Allocator, err = core.ParseAllocator(*allocFlag); err != nil {
+		fatal(err)
+	}
+	if err := cfg2.Validate(); err != nil {
+		fatal(err)
+	}
+	p, err := core.Compile(string(src), cfg2)
 	if err != nil {
 		fatal(err)
 	}

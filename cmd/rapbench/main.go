@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -35,6 +38,7 @@ func main() {
 		ksFlag   = flag.String("ks", "3,5,7,9", "register set sizes")
 		merge    = flag.Bool("merge-stmts", false, "merge per-statement regions (ablation)")
 		ablate   = flag.Bool("ablate", false, "compare RAP phase ablations")
+		verify   = flag.Bool("verify", false, "statically verify every allocation against the unallocated reference while measuring")
 		csvOut   = flag.String("csv", "", "also write the rows as CSV to this file")
 		jsonOut  = flag.String("json", "", "write the Table 1 rows plus per-(program,k) wall clock as JSON (schema rap/bench/v1) to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -43,6 +47,10 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the (program,k) comparison units; 1 = sequential (output is identical either way)")
 	)
 	flag.Parse()
+	// Ctrl-C (or a CI job cancellation) stops pending and in-flight
+	// (program, k) units at their next phase boundary.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	ks, err := core.ParseKs(*ksFlag)
 	if err != nil {
 		fatal(err)
@@ -79,7 +87,7 @@ func main() {
 	}()
 
 	if *ablate {
-		runAblation(ks, names, *parallel)
+		runAblation(ctx, ks, names, *parallel, *verify)
 		return
 	}
 
@@ -89,12 +97,12 @@ func main() {
 	} else if *suite != "paper" {
 		fatal(fmt.Errorf("unknown -suite %q", *suite))
 	}
-	cfg := core.CompareConfig{Lower: lower.Options{MergeStatements: *merge}, Parallel: *parallel}
+	cfg := core.CompareConfig{Lower: lower.Options{MergeStatements: *merge}, Parallel: *parallel, Verify: *verify}
 	var metrics *obs.Metrics
 	if *jsonOut != "" {
 		metrics = obs.NewMetrics()
 	}
-	rows, err := bench.MeasureTimed(progs, ks, cfg, metrics, names...)
+	rows, err := bench.MeasureTimedContext(ctx, progs, ks, cfg, metrics, names...)
 	if err != nil {
 		fatal(err)
 	}
@@ -124,7 +132,7 @@ func main() {
 // runAblation reports the suite-average percentage decrease under each
 // RAP configuration, quantifying what spill motion (§3.2), the Fig. 6
 // peephole (§3.3) and the per-statement regions contribute.
-func runAblation(ks []int, names []string, parallel int) {
+func runAblation(ctx context.Context, ks []int, names []string, parallel int, verify bool) {
 	configs := []struct {
 		label string
 		cfg   core.CompareConfig
@@ -146,7 +154,8 @@ func runAblation(ks []int, names []string, parallel int) {
 	fmt.Printf(" %8s\n", "overall")
 	for _, c := range configs {
 		c.cfg.Parallel = parallel
-		rows, err := bench.Table1(ks, c.cfg, names...)
+		c.cfg.Verify = verify
+		rows, err := bench.Table1Context(ctx, ks, c.cfg, names...)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", c.label, err))
 		}

@@ -38,6 +38,7 @@ func main() {
 		run        = flag.Bool("run", true, "execute the program")
 		stats      = flag.Bool("stats", false, "print per-routine cycle/load/store/copy counts")
 		compare    = flag.Bool("compare", false, "compare RAP against GRA at the -ks register set sizes")
+		verifyCmp  = flag.Bool("verify", false, "with -compare, statically verify every allocation against the unallocated reference")
 		ksFlag     = flag.String("ks", "3,5,7,9", "comma-separated register set sizes for -compare")
 		merge      = flag.Bool("merge-stmts", false, "merge per-statement regions (region granularity ablation)")
 		noMotion   = flag.Bool("rap-no-motion", false, "disable RAP's loop spill motion (ablation)")
@@ -114,7 +115,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		ms, err := core.Compare(string(src), ks, core.CompareConfig{Lower: cfg.Lower, RAP: cfg.RAP, Trace: tracer})
+		ms, err := core.Compare(string(src), ks, core.CompareConfig{Lower: cfg.Lower, RAP: cfg.RAP, Verify: *verifyCmp, Trace: tracer})
 		if err != nil {
 			fatal(err)
 		}
@@ -127,7 +128,12 @@ func main() {
 		return
 	}
 
-	cfg.Allocator = core.Allocator(*alloc)
+	if cfg.Allocator, err = core.ParseAllocator(*alloc); err != nil {
+		fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
 	p, err := core.Compile(string(src), cfg)
 	if err != nil {
 		fatal(err)

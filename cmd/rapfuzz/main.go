@@ -1,0 +1,117 @@
+// Command rapfuzz is the differential fuzz driver: it generates random
+// MiniC programs, compiles each under every allocator at several
+// register set sizes, executes the allocations, checks behaviour against
+// the unallocated reference, statically verifies every allocation, and
+// prints a shrunk reproducer for any failure.
+//
+//	rapfuzz -seeds 200 -timeout 60s
+//
+// Exit status 0 means every case passed; 1 means a failure was found (a
+// reproducer is printed); 2 means a usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fuzz"
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	seeds := flag.Int64("seeds", 200, "number of generator seeds to test")
+	seedStart := flag.Int64("seed-start", 0, "first seed (a CI shard can partition the space)")
+	timeout := flag.Duration("timeout", 0, "total session budget (0 = unlimited); a clean partial sweep still exits 0")
+	caseTimeout := flag.Duration("case-timeout", 30*time.Second, "budget for one (allocator, k) case")
+	ksFlag := flag.String("ks", "3,5,7,9", "comma-separated register set sizes")
+	allocsFlag := flag.String("allocs", "gra,rap,naive", "comma-separated allocators to test")
+	noVerify := flag.Bool("no-verify", false, "skip the static allocation verifier (differential check only)")
+	metricsOut := flag.Bool("metrics", false, "print the metrics snapshot (cases, failures) on exit")
+	verbose := flag.Bool("v", false, "log each seed as it is tested")
+	flag.Parse()
+
+	ks, err := core.ParseKs(*ksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rapfuzz:", err)
+		return 2
+	}
+	var allocs []core.Allocator
+	for _, name := range strings.Split(*allocsFlag, ",") {
+		a, err := core.ParseAllocator(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rapfuzz:", err)
+			return 2
+		}
+		if a != core.AllocNone {
+			allocs = append(allocs, a)
+		}
+	}
+	if len(allocs) == 0 {
+		fmt.Fprintln(os.Stderr, "rapfuzz: no allocators selected")
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	metrics := obs.NewMetrics()
+	cfg := fuzz.Default()
+	cfg.Ks = ks
+	cfg.Allocators = allocs
+	cfg.CaseTimeout = *caseTimeout
+	cfg.Verify = !*noVerify
+	cfg.Metrics = metrics
+
+	start := time.Now()
+	tested := int64(0)
+	for seed := *seedStart; seed < *seedStart+*seeds; seed++ {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "rapfuzz: seed %d\n", seed)
+		}
+		fail, err := fuzz.RunSeed(ctx, seed, cfg)
+		if err != nil {
+			// Session cancelled or out of budget: a partial clean sweep is
+			// still a pass (CI bounds the job by wall clock, not by seeds).
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "rapfuzz: stopped after %d seeds (%v)\n", tested, err)
+				break
+			}
+			fmt.Fprintln(os.Stderr, "rapfuzz:", err)
+			return 2
+		}
+		if fail != nil {
+			fmt.Fprintf(os.Stderr, "rapfuzz: FAILURE: %v\n", fail)
+			fmt.Fprintf(os.Stderr, "\nreproducer (%d lines):\n%s\n", len(strings.Split(fail.Shrunk, "\n")), fail.Shrunk)
+			fmt.Fprintf(os.Stderr, "\nrerun: rapfuzz -seed-start %d -seeds 1 -ks %d -allocs %s\n", fail.Seed, fail.K, fail.Allocator)
+			return 1
+		}
+		tested++
+	}
+	snap := metrics.Snapshot()
+	fmt.Fprintf(os.Stderr, "rapfuzz: %d seeds clean in %s (%d cases)\n",
+		tested, time.Since(start).Round(time.Millisecond), snap.Counters["fuzz.cases"])
+	if *metricsOut {
+		if err := snap.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rapfuzz:", err)
+			return 2
+		}
+	}
+	return 0
+}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -108,6 +109,12 @@ func Table1(ks []int, cfg core.CompareConfig, only ...string) ([]Row, error) {
 	return Measure(Programs(), ks, cfg, only...)
 }
 
+// Table1Context is Table1 with cancellation: a cancelled ctx stops
+// pending and in-flight (program, k) units and returns ctx's error.
+func Table1Context(ctx context.Context, ks []int, cfg core.CompareConfig, only ...string) ([]Row, error) {
+	return MeasureContext(ctx, Programs(), ks, cfg, only...)
+}
+
 // Measure runs the comparison over an arbitrary program set (Programs()
 // for the paper's table, append ExtraPrograms() for the extended suite).
 // With cfg.Parallel > 1 the independent (program, k) units fan out over a
@@ -115,14 +122,19 @@ func Table1(ks []int, cfg core.CompareConfig, only ...string) ([]Row, error) {
 // worker metrics merge back at the join, so the result — rows, Table 1
 // text, and metrics snapshot — is identical to the sequential run's.
 func Measure(progs []Program, ks []int, cfg core.CompareConfig, only ...string) ([]Row, error) {
-	return measure(progs, ks, cfg, nil, only...)
+	return measure(context.Background(), progs, ks, cfg, nil, only...)
+}
+
+// MeasureContext is Measure with cancellation (see Table1Context).
+func MeasureContext(ctx context.Context, progs []Program, ks []int, cfg core.CompareConfig, only ...string) ([]Row, error) {
+	return measure(ctx, progs, ks, cfg, nil, only...)
 }
 
 // measure is the shared harness behind Measure and MeasureTimed. The unit
 // of work is one (program, k) comparison; the unallocated reference for
 // each program is compiled once (guarded by a sync.Once so concurrent
 // units of the same program share it) and is read-only afterwards.
-func measure(progs []Program, ks []int, cfg core.CompareConfig, m *obs.Metrics, only ...string) ([]Row, error) {
+func measure(ctx context.Context, progs []Program, ks []int, cfg core.CompareConfig, m *obs.Metrics, only ...string) ([]Row, error) {
 	if len(ks) == 0 {
 		ks = Ks
 	}
@@ -157,6 +169,10 @@ func measure(progs []Program, ks []int, cfg core.CompareConfig, m *obs.Metrics, 
 	run := func(u int, tr *obs.Tracer) {
 		pi, ki := u/len(ks), u%len(ks)
 		prog, k := sel[pi], ks[ki]
+		if err := ctx.Err(); err != nil {
+			errs[u] = err
+			return
+		}
 		pcfg := cfg
 		pcfg.Funcs = prog.Funcs
 		pcfg.Trace = tr
@@ -166,7 +182,7 @@ func measure(progs []Program, ks []int, cfg core.CompareConfig, m *obs.Metrics, 
 			errs[u] = fmt.Errorf("%s: %w", prog.Name, err)
 			return
 		}
-		ms, err := core.CompareAtK(prog.Source, k, pcfg, ref)
+		ms, err := core.CompareAtKContext(ctx, prog.Source, k, pcfg, ref)
 		if err != nil {
 			errs[u] = fmt.Errorf("%s: %w", prog.Name, err)
 			return

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 
@@ -105,11 +106,17 @@ func WriteJSON(w io.Writer, rows []Row, ks []int, m *obs.Metrics) error {
 // compiled once per program and shared across its ks; its cost lands in
 // the first unit's wall clock.
 func MeasureTimed(progs []Program, ks []int, cfg core.CompareConfig, m *obs.Metrics, only ...string) ([]Row, error) {
+	return MeasureTimedContext(context.Background(), progs, ks, cfg, m, only...)
+}
+
+// MeasureTimedContext is MeasureTimed with cancellation (see
+// Table1Context).
+func MeasureTimedContext(ctx context.Context, progs []Program, ks []int, cfg core.CompareConfig, m *obs.Metrics, only ...string) ([]Row, error) {
 	if m == nil {
-		return Measure(progs, ks, cfg, only...)
+		return MeasureContext(ctx, progs, ks, cfg, only...)
 	}
 	if cfg.Trace == nil {
 		cfg.Trace = obs.New().WithMetrics(m)
 	}
-	return measure(progs, ks, cfg, m, only...)
+	return measure(ctx, progs, ks, cfg, m, only...)
 }

@@ -88,10 +88,28 @@ func (s *Set) DiffWith(t *Set) {
 	}
 }
 
-// IntersectWith keeps only elements also in t.
-func (s *Set) IntersectWith(t *Set) {
+// IntersectWith keeps only elements also in t and reports whether s
+// changed (the meet operation of must-analyses, which iterate on the
+// changed signal).
+func (s *Set) IntersectWith(t *Set) bool {
+	changed := false
 	for i, w := range t.words {
-		s.words[i] &= w
+		nw := s.words[i] & w
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Fill adds every integer in [0, n) to the set.
+func (s *Set) Fill(n int) {
+	for i := 0; i < n>>6; i++ {
+		s.words[i] = ^uint64(0)
+	}
+	if rem := uint(n) & 63; rem != 0 {
+		s.words[n>>6] |= (1 << rem) - 1
 	}
 }
 

@@ -5,9 +5,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"strconv"
-	"strings"
 	"sync"
 
 	"repro/internal/interp"
@@ -22,6 +21,7 @@ import (
 	"repro/internal/regalloc/rap"
 	"repro/internal/sem"
 	"repro/internal/testutil"
+	"repro/internal/verify"
 )
 
 // Allocator selects a register allocation strategy.
@@ -94,8 +94,13 @@ func Frontend(src string, opts lower.Options, tr *obs.Tracer) (*ir.Program, erro
 	return p, nil
 }
 
-// Compile compiles MiniC source through the configured pipeline.
+// Compile compiles MiniC source through the configured pipeline. The
+// configuration is validated first; a bad allocator name or register set
+// size is reported (as ErrBadAllocator / ErrBadK) before any work runs.
 func Compile(src string, cfg Config) (*ir.Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	p, err := Frontend(src, cfg.Lower, cfg.Trace)
 	if err != nil {
 		return nil, err
@@ -152,23 +157,15 @@ func Compile(src string, cfg Config) (*ir.Program, error) {
 	return nil, fmt.Errorf("core: unknown allocator %q", cfg.Allocator)
 }
 
-// ParseKs parses a comma-separated list of register set sizes
-// (e.g. "3,5,7,9").
-func ParseKs(s string) ([]int, error) {
-	var ks []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("bad register count %q", part)
-		}
-		ks = append(ks, n)
-	}
-	return ks, nil
-}
-
 // Run executes a compiled program on the counting interpreter.
 func Run(p *ir.Program) (*interp.Result, error) {
 	return interp.Run(p, interp.Options{})
+}
+
+// RunContext executes a compiled program on the counting interpreter,
+// stopping early (with ctx's error) if ctx is cancelled mid-run.
+func RunContext(ctx context.Context, p *ir.Program) (*interp.Result, error) {
+	return interp.Run(p, interp.Options{Context: ctx})
 }
 
 // Measurement is one routine's executed-instruction statistics under both
@@ -242,6 +239,11 @@ type CompareConfig struct {
 	// Rematerialize enables constant rematerialization in BOTH
 	// allocators.
 	Rematerialize bool
+	// Verify additionally runs the static allocation verifier
+	// (internal/verify) on every allocated program, proving the k-bound,
+	// interference-freedom and spill balance against the unallocated
+	// reference — independent of the differential interpreter check.
+	Verify bool
 	// Funcs restricts measurement to these routines (nil = all executed).
 	Funcs []string
 	// Parallel bounds the worker pool the comparison fans its per-k
@@ -306,27 +308,70 @@ func CompileRef(src string, cfg CompareConfig) (*RefRun, error) {
 	return &RefRun{Prog: ref, Res: res}, nil
 }
 
+// verifyAllocation runs the static verifier over one allocated program,
+// recording pass/fail counters on the comparison's metrics registry.
+func verifyAllocation(label string, ref *RefRun, alloc *ir.Program, k int, cfg CompareConfig) error {
+	m := cfg.Trace.Metrics()
+	m.Add("verify.programs", 1)
+	err := verify.Program(ref.Prog, alloc, k, verify.Options{Rematerialize: cfg.Rematerialize})
+	if err != nil {
+		m.Add("verify.failures", 1)
+		return fmt.Errorf("%s k=%d failed verification: %w", label, k, err)
+	}
+	return nil
+}
+
 // CompareAtK measures one register set size against a prepared
-// reference: compile src under GRA and RAP at k, run both, verify
-// behaviour, and report per-routine statistics. It is the unit of work
-// the parallel harness fans out.
+// reference. It is equivalent to CompareAtKContext with a background
+// context.
 func CompareAtK(src string, k int, cfg CompareConfig, ref *RefRun) ([]Measurement, error) {
+	return CompareAtKContext(context.Background(), src, k, cfg, ref)
+}
+
+// CompareAtKContext measures one register set size against a prepared
+// reference: compile src under GRA and RAP at k, run both, verify
+// behaviour (and, with cfg.Verify, the static allocation invariants),
+// and report per-routine statistics. It is the unit of work the parallel
+// harness fans out; ctx cancellation is observed between phases.
+func CompareAtKContext(ctx context.Context, src string, k int, cfg CompareConfig, ref *RefRun) ([]Measurement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	graProg, err := Compile(src, Config{Allocator: AllocGRA, K: k, Lower: cfg.Lower, GRAPeephole: cfg.GRAPeephole, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize, Trace: cfg.Trace})
 	if err != nil {
 		return nil, fmt.Errorf("gra k=%d: %w", k, err)
 	}
-	graRes, err := Run(graProg)
+	if cfg.Verify {
+		if err := verifyAllocation("gra", ref, graProg, k, cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	graRes, err := RunContext(ctx, graProg)
 	if err != nil {
 		return nil, fmt.Errorf("gra k=%d run: %w", k, err)
 	}
 	if err := testutil.SameBehaviour(ref.Res, graRes); err != nil {
 		return nil, fmt.Errorf("gra k=%d changed behaviour: %w", k, err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rapProg, err := Compile(src, Config{Allocator: AllocRAP, K: k, Lower: cfg.Lower, RAP: cfg.RAP, Coalesce: cfg.Coalesce, Rematerialize: cfg.Rematerialize, Trace: cfg.Trace})
 	if err != nil {
 		return nil, fmt.Errorf("rap k=%d: %w", k, err)
 	}
-	rapRes, err := Run(rapProg)
+	if cfg.Verify {
+		if err := verifyAllocation("rap", ref, rapProg, k, cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rapRes, err := RunContext(ctx, rapProg)
 	if err != nil {
 		return nil, fmt.Errorf("rap k=%d run: %w", k, err)
 	}
@@ -354,18 +399,24 @@ func CompareAtK(src string, k int, cfg CompareConfig, ref *RefRun) ([]Measuremen
 	return out, nil
 }
 
-// Compare compiles src under GRA and RAP for each register set size and
-// measures per-routine executed cycles, loads, stores and copies. It
-// verifies that both allocations preserve the unallocated program's
-// behaviour and returns measurements keyed in the order: for each k, each
-// measured routine sorted by name.
+// Compare is CompareContext with a background context.
+func Compare(src string, ks []int, cfg CompareConfig) ([]Measurement, error) {
+	return CompareContext(context.Background(), src, ks, cfg)
+}
+
+// CompareContext compiles src under GRA and RAP for each register set
+// size and measures per-routine executed cycles, loads, stores and
+// copies. It verifies that both allocations preserve the unallocated
+// program's behaviour and returns measurements keyed in the order: for
+// each k, each measured routine sorted by name. Cancelling ctx stops
+// in-flight units at their next phase boundary and returns ctx's error.
 //
 // With cfg.Parallel > 1 the per-k units run concurrently on a bounded
 // worker pool; results are re-assembled in k order and each worker's
 // metrics registry is merged back at the join, so the returned
 // measurements — and any attached metrics snapshot — are identical to
 // the sequential run's.
-func Compare(src string, ks []int, cfg CompareConfig) ([]Measurement, error) {
+func CompareContext(ctx context.Context, src string, ks []int, cfg CompareConfig) ([]Measurement, error) {
 	ref, err := CompileRef(src, cfg)
 	if err != nil {
 		return nil, err
@@ -385,7 +436,7 @@ func Compare(src string, ks []int, cfg CompareConfig) ([]Measurement, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				perK[i], errs[i] = CompareAtK(src, k, wcfg, ref)
+				perK[i], errs[i] = CompareAtKContext(ctx, src, k, wcfg, ref)
 			}(i, k, wcfg)
 		}
 		wg.Wait()
@@ -399,7 +450,7 @@ func Compare(src string, ks []int, cfg CompareConfig) ([]Measurement, error) {
 		}
 	} else {
 		for i, k := range ks {
-			if perK[i], err = CompareAtK(src, k, cfg, ref); err != nil {
+			if perK[i], err = CompareAtKContext(ctx, src, k, cfg, ref); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/regalloc"
+)
+
+// MaxK is the largest register set size the pipeline accepts. The paper's
+// evaluation stops at 16; 64 keeps one machine word per dataflow set and
+// leaves generous headroom for sweeps.
+const MaxK = 64
+
+// Typed validation failures, so callers can distinguish a bad flag value
+// from a pipeline bug with errors.Is.
+var (
+	// ErrBadAllocator reports an allocator name outside the known set.
+	ErrBadAllocator = errors.New("unknown allocator")
+	// ErrBadK reports a register set size outside the supported range.
+	ErrBadK = errors.New("bad register count")
+)
+
+// ParseAllocator converts a user-supplied allocator name into an
+// Allocator, rejecting anything outside the known set. The empty string
+// means AllocNone, matching Config's zero value.
+func ParseAllocator(s string) (Allocator, error) {
+	switch a := Allocator(strings.ToLower(strings.TrimSpace(s))); a {
+	case "":
+		return AllocNone, nil
+	case AllocNone, AllocGRA, AllocRAP, AllocNaive:
+		return a, nil
+	default:
+		return "", fmt.Errorf("%w %q (want none, gra, rap or naive)", ErrBadAllocator, s)
+	}
+}
+
+// Validate reports whether the configuration names a runnable pipeline:
+// a known allocator, and — when the allocator assigns physical
+// registers — a register set size the allocators support.
+func (cfg Config) Validate() error {
+	switch cfg.Allocator {
+	case "", AllocNone:
+		return nil
+	case AllocGRA, AllocRAP, AllocNaive:
+		return checkK(cfg.K)
+	default:
+		return fmt.Errorf("%w %q (want none, gra, rap or naive)", ErrBadAllocator, cfg.Allocator)
+	}
+}
+
+// checkK validates one register set size against the allocators' shared
+// operating range.
+func checkK(k int) error {
+	if k < regalloc.MinRegisters {
+		return fmt.Errorf("%w %d (the allocators need at least %d registers)", ErrBadK, k, regalloc.MinRegisters)
+	}
+	if k > MaxK {
+		return fmt.Errorf("%w %d (maximum is %d)", ErrBadK, k, MaxK)
+	}
+	return nil
+}
+
+// ParseKs parses a comma-separated list of register set sizes
+// (e.g. "3,5,7,9"), rejecting malformed entries, duplicates, and sizes
+// outside [1, MaxK]. Sizes below the allocators' minimum are allowed
+// here — AllocNone ignores k entirely — and caught by Config.Validate
+// when an allocating pipeline is actually configured.
+func ParseKs(s string) ([]int, error) {
+	var ks []int
+	seen := make(map[int]bool)
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%w %q", ErrBadK, part)
+		}
+		if n > MaxK {
+			return nil, fmt.Errorf("%w %d (maximum is %d)", ErrBadK, n, MaxK)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("%w: duplicate size %d", ErrBadK, n)
+		}
+		seen[n] = true
+		ks = append(ks, n)
+	}
+	return ks, nil
+}

@@ -1,0 +1,104 @@
+package fuzz_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fuzz"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/randprog"
+)
+
+// TestRunSeedClean: the shipped allocators must survive the differential
+// check on a handful of seeds (CI's rapfuzz job covers hundreds more).
+func TestRunSeedClean(t *testing.T) {
+	seeds := int64(4)
+	m := obs.NewMetrics()
+	cfg := fuzz.Default()
+	cfg.Metrics = m
+	if testing.Short() {
+		seeds = 2
+		cfg.Ks = []int{3, 7}
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		fail, err := fuzz.RunSeed(context.Background(), seed, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fail != nil {
+			t.Fatalf("seed %d failed: %v\nshrunk:\n%s", seed, fail, fail.Shrunk)
+		}
+	}
+}
+
+// TestRunSeedCancelled: a cancelled session context surfaces as an error,
+// not as a spurious failure report.
+func TestRunSeedCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fail, err := fuzz.RunSeed(ctx, 1, fuzz.Default())
+	if err == nil {
+		t.Fatalf("expected context error, got failure %v", fail)
+	}
+}
+
+// TestShrinkReproducer injects a fault through the Mutate hook — flip
+// one definition's register in main, a corrupted coloring — and checks
+// that the harness catches it and shrinks the reproducer below 30 lines
+// (the acceptance bound for actionable fuzz reports).
+func TestShrinkReproducer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking compiles many candidate programs; skipped under -short")
+	}
+	cfg := fuzz.Default()
+	cfg.Gen = randprog.Config{MaxFuncs: 2, MaxStmtsPerBlock: 4, MaxDepth: 2}
+	cfg.Ks = []int{5}
+	cfg.Allocators = []core.Allocator{core.AllocGRA}
+	cfg.CaseTimeout = 10 * time.Second
+	cfg.Mutate = func(p *ir.Program) {
+		f := p.Func("main")
+		for i := len(f.Instrs) - 1; i >= 0; i-- {
+			if d := f.Instrs[i].Def(); d != ir.None {
+				f.Instrs[i].SetDef(ir.Reg(int(d)%f.K) + 1)
+				return
+			}
+		}
+	}
+	fail, err := fuzz.RunSeed(context.Background(), 7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail == nil {
+		t.Fatal("injected fault not detected")
+	}
+	if fail.Shrunk == "" {
+		t.Fatal("no shrunk reproducer")
+	}
+	if n := len(strings.Split(fail.Shrunk, "\n")); n >= 30 {
+		t.Errorf("shrunk reproducer has %d lines, want < 30:\n%s", n, fail.Shrunk)
+	}
+}
+
+// FuzzAlloc is the native fuzz entrypoint: go test -fuzz FuzzAlloc
+// ./internal/fuzz explores generator seeds beyond the fixed corpus.
+func FuzzAlloc(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		cfg := fuzz.Default()
+		cfg.Ks = []int{3, 7}
+		cfg.CaseTimeout = 10 * time.Second
+		fail, err := fuzz.RunSeed(context.Background(), seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fail != nil {
+			t.Fatalf("%v\nshrunk:\n%s", fail, fail.Shrunk)
+		}
+	})
+}

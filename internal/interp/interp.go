@@ -12,6 +12,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -58,6 +59,10 @@ type Options struct {
 	// registry as counters "interp.func.<name>.<cycles|loads|stores|
 	// copies>" plus the "interp.total.*" aggregates.
 	Tracer *obs.Tracer
+	// Context, when non-nil, is polled periodically (every few thousand
+	// cycles) so a cancellation or deadline aborts a long-running or
+	// non-terminating program with the context's error.
+	Context context.Context
 }
 
 // Result is the outcome of a program run.
@@ -94,6 +99,10 @@ type machine struct {
 	// the callee's parameter count (memory-style argument passing, so a
 	// call never needs all arguments in registers at once).
 	argStack []int64
+	ctx      context.Context
+	// ctxCheck counts down cycles to the next context poll (polling every
+	// cycle would put two atomic loads on the hot path).
+	ctxCheck int64
 	trace    io.Writer
 	// executed is the program-wide cycle count, printed as the trace's
 	// cycle column.
@@ -119,6 +128,7 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		labels:   map[*ir.Function]map[string]int{},
 		res:      &Result{PerFunc: map[string]*Stats{}},
 		budget:   opts.MaxCycles,
+		ctx:      opts.Context,
 		trace:    opts.Trace,
 	}
 	for a, v := range p.GlobalInit {
@@ -239,6 +249,15 @@ func (m *machine) call(f *ir.Function, args []int64) (int64, error) {
 			m.budget--
 			if m.budget < 0 {
 				return 0, fmt.Errorf("interp: cycle budget exhausted in %s", f.Name)
+			}
+			if m.ctx != nil {
+				m.ctxCheck--
+				if m.ctxCheck < 0 {
+					m.ctxCheck = 8192
+					if err := m.ctx.Err(); err != nil {
+						return 0, fmt.Errorf("interp: run cancelled in %s: %w", f.Name, err)
+					}
+				}
 			}
 		}
 		next := pc + 1

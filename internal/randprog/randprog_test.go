@@ -73,14 +73,46 @@ func TestDifferentialFuzz(t *testing.T) {
 	}
 }
 
-// TestGeneratorDeterministic: the same seed must produce the same source.
+// TestGeneratorDeterministic: the same (seed, config) must produce the
+// same source — the fuzz harness's reproducer story (rerun the failing
+// seed, shrink, rerun the shrunk case) depends on it. The test also
+// proves the generator keeps no state between calls: regenerating a seed
+// after a sweep over other seeds and configs yields the identical
+// program.
 func TestGeneratorDeterministic(t *testing.T) {
-	for seed := int64(0); seed < 5; seed++ {
-		a := randprog.Generate(seed, randprog.DefaultConfig())
-		b := randprog.Generate(seed, randprog.DefaultConfig())
-		if a != b {
-			t.Fatalf("seed %d: generator not deterministic", seed)
+	const n = 64
+	cfgs := []randprog.Config{
+		randprog.DefaultConfig(),
+		{MaxFuncs: 1, MaxStmtsPerBlock: 2, MaxDepth: 1},
+		{MaxFuncs: 3, MaxStmtsPerBlock: 6, MaxDepth: 3, Floats: false},
+	}
+	type key struct {
+		seed int64
+		cfg  int
+	}
+	first := map[key]string{}
+	for ci, cfg := range cfgs {
+		for seed := int64(0); seed < n; seed++ {
+			first[key{seed, ci}] = randprog.Generate(seed, cfg)
 		}
+	}
+	// Second sweep in a different order, interleaving configs, after all
+	// that prior generation: every program must match byte for byte.
+	for seed := int64(n - 1); seed >= 0; seed-- {
+		for ci, cfg := range cfgs {
+			if got := randprog.Generate(seed, cfg); got != first[key{seed, ci}] {
+				t.Fatalf("seed %d cfg %d: generator not deterministic across calls", seed, ci)
+			}
+		}
+	}
+	// Distinct seeds must actually vary the program (a constant generator
+	// would pass the identity checks while fuzzing nothing).
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < n; seed++ {
+		distinct[first[key{seed, 0}]] = true
+	}
+	if len(distinct) < n/2 {
+		t.Fatalf("only %d distinct programs from %d seeds", len(distinct), n)
 	}
 }
 
