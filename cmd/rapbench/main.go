@@ -98,6 +98,7 @@ func main() {
 		fatal(fmt.Errorf("unknown -suite %q", *suite))
 	}
 	cfg := core.CompareConfig{Lower: lower.Options{MergeStatements: *merge}, Parallel: *parallel, Verify: *verify}
+	cfg.Trace = debugTracer()
 	var metrics *obs.Metrics
 	if *jsonOut != "" {
 		metrics = obs.NewMetrics()
@@ -155,6 +156,7 @@ func runAblation(ctx context.Context, ks []int, names []string, parallel int, ve
 	for _, c := range configs {
 		c.cfg.Parallel = parallel
 		c.cfg.Verify = verify
+		c.cfg.Trace = debugTracer()
 		rows, err := bench.Table1Context(ctx, ks, c.cfg, names...)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", c.label, err))
@@ -166,6 +168,16 @@ func runAblation(ctx context.Context, ks []int, names []string, parallel int, ve
 		}
 		fmt.Printf(" %8.1f\n", bench.OverallAverage(sums))
 	}
+}
+
+// debugTracer honors the RAP_DEBUG env shim: text events on stderr. The
+// env var is interpreted here, in the command — the library packages
+// depend only on the tracer they are handed.
+func debugTracer() *obs.Tracer {
+	if os.Getenv("RAP_DEBUG") == "" {
+		return nil
+	}
+	return obs.New(obs.NewTextSink(os.Stderr))
 }
 
 func fatal(err error) {

@@ -1,6 +1,9 @@
 // Command rapcc compiles a MiniC source file through the reproduction
 // pipeline, optionally allocates registers with RAP or GRA, and runs the
-// result on the counting interpreter.
+// result on the counting interpreter. Single-shot execution routes
+// through the same hardened job core (internal/serve.ExecuteJob) the
+// rapserved daemon uses, so a served result is identical to rapcc's for
+// the same inputs.
 //
 // Usage:
 //
@@ -10,24 +13,27 @@
 //
 //	rapcc -alloc rap -k 5 -stats prog.mc     # allocate with RAP, run, report
 //	rapcc -alloc gra -k 5 -dump prog.mc      # print the allocated iloc
+//	rapcc -alloc rap -k 5 -verify prog.mc    # statically verify the allocation too
 //	rapcc -compare -ks 3,5,7,9 prog.mc       # per-routine RAP vs GRA table
 //	rapcc -alloc rap -k 5 -trace-out t.jsonl -metrics m.json prog.mc
 //	rapcc -alloc rap -k 3 -run=false -explain r7 prog.mc
+//
+// Setting RAP_DEBUG prints text events to stderr — the env var is
+// interpreted here, in the command, never inside the library packages.
 //
 // When the program runs, its main return value (masked to 7 bits) becomes
 // rapcc's exit status.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/interp"
-	"repro/internal/lower"
 	"repro/internal/obs"
-	"repro/internal/regalloc/rap"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -38,7 +44,7 @@ func main() {
 		run        = flag.Bool("run", true, "execute the program")
 		stats      = flag.Bool("stats", false, "print per-routine cycle/load/store/copy counts")
 		compare    = flag.Bool("compare", false, "compare RAP against GRA at the -ks register set sizes")
-		verifyCmp  = flag.Bool("verify", false, "with -compare, statically verify every allocation against the unallocated reference")
+		verifyFlag = flag.Bool("verify", false, "statically verify every allocation against the unallocated reference (single-shot and -compare)")
 		ksFlag     = flag.String("ks", "3,5,7,9", "comma-separated register set sizes for -compare")
 		merge      = flag.Bool("merge-stmts", false, "merge per-statement regions (region granularity ablation)")
 		noMotion   = flag.Bool("rap-no-motion", false, "disable RAP's loop spill motion (ablation)")
@@ -61,10 +67,14 @@ func main() {
 		fatal(err)
 	}
 
-	// Observability: any of -trace-out, -metrics, -stats and -explain
-	// turns the tracer on; with none of them the pipeline runs with the
-	// free nil tracer.
+	// Observability: any of -trace-out, -metrics, -stats, -explain and the
+	// RAP_DEBUG env var turns the tracer on; with none of them the
+	// pipeline runs with the free nil tracer. The env sniff lives here in
+	// the command — the library depends only on the tracer it is handed.
 	var sinks []obs.Sink
+	if os.Getenv("RAP_DEBUG") != "" {
+		sinks = append(sinks, obs.NewTextSink(os.Stderr))
+	}
 	var traceFile *os.File
 	if *traceOut != "" {
 		traceFile, err = os.Create(*traceOut)
@@ -101,13 +111,22 @@ func main() {
 		}
 	}
 
-	cfg := core.Config{
+	// Single-shot and -compare both route through the serve job core —
+	// the exact execution path rapserved's workers use.
+	job := serve.Job{
+		Source:        string(src),
+		Allocator:     *alloc,
 		K:             *k,
-		Lower:         lower.Options{MergeStatements: *merge},
-		RAP:           rap.Options{DisableSpillMotion: *noMotion, DisablePeephole: *noPeep},
+		Verify:        *verifyFlag,
+		MergeStmts:    *merge,
 		Coalesce:      *coalesce,
 		Rematerialize: *remat,
-		Trace:         tracer,
+		RAPNoMotion:   *noMotion,
+		RAPNoPeephole: *noPeep,
+	}
+	opts := serve.ExecOptions{Tracer: tracer}
+	if *trace {
+		opts.InstrTrace = os.Stderr
 	}
 
 	if *compare {
@@ -115,12 +134,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		ms, err := core.Compare(string(src), ks, core.CompareConfig{Lower: cfg.Lower, RAP: cfg.RAP, Verify: *verifyCmp, Trace: tracer})
+		job.Mode = serve.ModeCompare
+		job.Ks = ks
+		out, err := serve.ExecuteJob(context.Background(), job, opts)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("%-16s %3s %10s %10s %8s %8s %8s\n", "routine", "k", "GRA cyc", "RAP cyc", "tot%", "ld%", "st%")
-		for _, m := range ms {
+		for _, m := range out.Measurements {
 			fmt.Printf("%-16s %3d %10d %10d %8.1f %8.1f %8.1f\n",
 				m.Func, m.K, m.GRA.Cycles, m.RAP.Cycles, m.PctTotal(), m.PctLoads(), m.PctStores())
 		}
@@ -128,13 +149,9 @@ func main() {
 		return
 	}
 
-	if cfg.Allocator, err = core.ParseAllocator(*alloc); err != nil {
-		fatal(err)
-	}
-	if err := cfg.Validate(); err != nil {
-		fatal(err)
-	}
-	p, err := core.Compile(string(src), cfg)
+	wantRun := *run && *explain == ""
+	job.Run = &wantRun
+	out, err := serve.ExecuteJob(context.Background(), job, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -144,28 +161,20 @@ func main() {
 		return
 	}
 	if *dump {
-		fmt.Print(p.String())
+		fmt.Print(out.Prog.String())
 	}
-	if !*run {
+	if out.Run == nil {
 		writeMetrics()
 		return
 	}
-	iopts := interp.Options{Tracer: tracer}
-	if *trace {
-		iopts.Trace = os.Stderr
-	}
-	res, err := interp.Run(p, iopts)
-	if err != nil {
-		fatal(err)
-	}
-	for _, line := range res.Output {
+	for _, line := range out.Run.Output {
 		fmt.Println(line)
 	}
 	if *stats {
 		printStats(metrics)
 	}
 	writeMetrics()
-	os.Exit(int(res.Ret & 0x7f))
+	os.Exit(int(out.Run.Ret & 0x7f))
 }
 
 // printStats renders the per-routine summary from the metrics registry

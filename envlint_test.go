@@ -1,0 +1,38 @@
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoEnvSniffingInLibraries guards the cmd/library boundary: the
+// library packages under internal/ must depend only on what they are
+// handed (options, tracers), never on ambient environment variables —
+// the RAP_DEBUG shim lives in the commands. An env sniff inside a
+// library makes behaviour differ between a served job and a single-shot
+// run of the same inputs, which breaks the result cache's premise.
+func TestNoEnvSniffingInLibraries(t *testing.T) {
+	err := filepath.WalkDir("internal", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if strings.Contains(line, "os.Getenv") || strings.Contains(line, "os.LookupEnv") {
+				t.Errorf("%s:%d: library package reads the environment: %s", path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 // Program is one benchmark program and the routines Table 1 reports on.
@@ -182,7 +183,11 @@ func measure(ctx context.Context, progs []Program, ks []int, cfg core.CompareCon
 			errs[u] = fmt.Errorf("%s: %w", prog.Name, err)
 			return
 		}
-		ms, err := core.CompareAtKContext(ctx, prog.Source, k, pcfg, ref)
+		// The unit runs through the serve job core's panic-isolated
+		// comparison path — the same one rapserved's workers use — so a
+		// crash in one (program, k) unit surfaces as that unit's error
+		// instead of killing the whole suite.
+		ms, err := serve.CompareUnit(ctx, prog.Source, k, pcfg, ref, 0)
 		if err != nil {
 			errs[u] = fmt.Errorf("%s: %w", prog.Name, err)
 			return
@@ -203,7 +208,15 @@ func measure(ctx context.Context, progs []Program, ks []int, cfg core.CompareCon
 			wg.Add(1)
 			go func(u int, tr *obs.Tracer) {
 				defer wg.Done()
-				sem <- struct{}{}
+				// Acquire a pool slot or give up on cancellation so a
+				// cancelled suite drains instead of churning through
+				// every queued unit.
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					errs[u] = ctx.Err()
+					return
+				}
 				defer func() { <-sem }()
 				run(u, tr)
 			}(u, tr)

@@ -77,19 +77,19 @@ func Frontend(src string, opts lower.Options, tr *obs.Tracer) (*ir.Program, erro
 	prog, err := parser.Parse(src)
 	span.End()
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+		return nil, fmt.Errorf("%w: parse: %w", ErrBadSource, err)
 	}
 	span = tr.StartSpan("sem")
 	err = sem.Check(prog)
 	span.End()
 	if err != nil {
-		return nil, fmt.Errorf("check: %w", err)
+		return nil, fmt.Errorf("%w: check: %w", ErrBadSource, err)
 	}
 	span = tr.StartSpan("lower")
 	p, err := lower.Lower(prog, opts)
 	span.End()
 	if err != nil {
-		return nil, fmt.Errorf("lower: %w", err)
+		return nil, fmt.Errorf("%w: lower: %w", ErrBadSource, err)
 	}
 	return p, nil
 }
@@ -434,7 +434,15 @@ func CompareContext(ctx context.Context, src string, ks []int, cfg CompareConfig
 			wg.Add(1)
 			go func(i, k int, wcfg CompareConfig) {
 				defer wg.Done()
-				sem <- struct{}{}
+				// Acquire a pool slot or give up on cancellation: a
+				// cancelled comparison must not keep queued units
+				// parked behind the in-flight ones.
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					errs[i] = ctx.Err()
+					return
+				}
 				defer func() { <-sem }()
 				perK[i], errs[i] = CompareAtKContext(ctx, src, k, wcfg, ref)
 			}(i, k, wcfg)

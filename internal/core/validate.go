@@ -21,6 +21,12 @@ var (
 	ErrBadAllocator = errors.New("unknown allocator")
 	// ErrBadK reports a register set size outside the supported range.
 	ErrBadK = errors.New("bad register count")
+	// ErrBadSource reports MiniC source the front end rejected (parse,
+	// semantic or lowering failure) — the caller sent a malformed
+	// program, as opposed to the pipeline hitting an internal bug.
+	// Services use errors.Is(err, ErrBadSource) to answer 400 instead
+	// of 500.
+	ErrBadSource = errors.New("bad source")
 )
 
 // ParseAllocator converts a user-supplied allocator name into an

@@ -76,6 +76,34 @@ func TestCompileRejectsBadConfig(t *testing.T) {
 	}
 }
 
+// TestCompileBadSourceTyped: every front-end rejection — including the
+// degenerate programs a service must answer 400 for — carries the
+// ErrBadSource sentinel and never panics.
+func TestCompileBadSourceTyped(t *testing.T) {
+	bad := []struct{ name, src string }{
+		{"empty", ""},
+		{"whitespace", "  \n\t\n"},
+		{"no main", "int f() { return 1; }"},
+		{"syntax error", "int main( {"},
+		{"zero-statement main is fine but undefined name is not", "int main() { return nope; }"},
+	}
+	for _, tt := range bad {
+		_, err := core.Compile(tt.src, core.Config{Allocator: core.AllocRAP, K: 5})
+		if err == nil {
+			t.Errorf("%s: expected error", tt.name)
+			continue
+		}
+		if !errors.Is(err, core.ErrBadSource) {
+			t.Errorf("%s: error %v does not wrap ErrBadSource", tt.name, err)
+		}
+	}
+	// A config rejection is not a source problem: the sentinels stay
+	// distinct so a service can blame the right part of the request.
+	if _, err := core.Compile("int main() { return 0; }", core.Config{Allocator: core.AllocRAP, K: 1}); errors.Is(err, core.ErrBadSource) || !errors.Is(err, core.ErrBadK) {
+		t.Errorf("bad k misclassified: %v", err)
+	}
+}
+
 func TestParseKsErrors(t *testing.T) {
 	tests := []struct {
 		in string

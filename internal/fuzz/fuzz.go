@@ -12,6 +12,7 @@ package fuzz
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"strings"
@@ -162,12 +163,28 @@ func (r *refRun) build(ctx context.Context, src string, cfg Config) error {
 	return nil
 }
 
-// runCase runs one unit in its own goroutine under a timeout, recovering
-// panics into errors, so a crashing or non-terminating case is charged
-// to that case alone.
-func runCase(ctx context.Context, timeout time.Duration, unit func(context.Context) error) error {
-	cctx, cancel := context.WithTimeout(ctx, timeout)
-	defer cancel()
+// ErrUnitTimeout marks a unit that exceeded its RunIsolated timeout, so
+// callers (the fuzz loop, the allocation service) can classify the
+// failure without string matching. The returned error also wraps
+// context.DeadlineExceeded.
+var ErrUnitTimeout = errors.New("unit timed out")
+
+// RunIsolated runs one unit of pipeline work in its own goroutine,
+// recovering panics into errors and bounding the unit with timeout
+// (0 means no deadline beyond ctx's own), so a crashing or
+// non-terminating unit is charged to that unit alone. It is the
+// isolation boundary shared by the fuzz harness and the allocation
+// service: the unit receives a context it must poll (the interpreter and
+// the Compare phases do), and on timeout RunIsolated returns an error
+// wrapping ErrUnitTimeout while the worker goroutine unwinds on its own
+// at the next poll.
+func RunIsolated(ctx context.Context, timeout time.Duration, unit func(context.Context) error) error {
+	cctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	done := make(chan error, 1)
 	go func() {
 		defer func() {
@@ -182,9 +199,17 @@ func runCase(ctx context.Context, timeout time.Duration, unit func(context.Conte
 		return err
 	case <-cctx.Done():
 		// The worker goroutine observes cctx at its next interpreter poll
-		// or phase boundary and exits on its own; the case is charged now.
-		return fmt.Errorf("case timed out after %s: %w", timeout, cctx.Err())
+		// or phase boundary and exits on its own; the unit is charged now.
+		if timeout > 0 && errors.Is(cctx.Err(), context.DeadlineExceeded) {
+			return fmt.Errorf("%w after %s: %w", ErrUnitTimeout, timeout, cctx.Err())
+		}
+		return cctx.Err()
 	}
+}
+
+// runCase keeps the fuzz loop's historical name for the shared helper.
+func runCase(ctx context.Context, timeout time.Duration, unit func(context.Context) error) error {
+	return RunIsolated(ctx, timeout, unit)
 }
 
 // checkAlloc is the differential check for one (allocator, k) unit:

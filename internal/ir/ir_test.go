@@ -191,6 +191,34 @@ func TestProgramParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseMissingOperands pins the fuzz-shrinker reproducers: a mnemonic
+// with its operands deleted must come back as a parse error, never as an
+// index-out-of-range panic (these lines once crashed the parser).
+func TestParseMissingOperands(t *testing.T) {
+	bad := []string{
+		"loadI", "loadI => r1", "loadF", "lea", "getparam", "lds",
+		"sts", "stm", "ldm", "loadAI", "loadAI r1", "storeAI",
+		"not", "not => r2", "i2i",
+		"add", "add r1", "cbr", "jump", "call", "call (",
+	}
+	for _, line := range bad {
+		src := "func f params=0\n" + line + "\nend\n"
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("parser panicked on %q: %v", line, r)
+				}
+			}()
+			if _, err := ir.ParseProgram(src); err == nil {
+				t.Errorf("expected parse error for %q", line)
+			}
+		}()
+	}
+	if _, err := ir.ParseProgram("func\nend\n"); err == nil {
+		t.Error("expected parse error for nameless func header")
+	}
+}
+
 func TestProgramRoundTrip(t *testing.T) {
 	src := "globals 10\ninit 3 = 42\n" + sampleFn + "func g params=0 locals=0\n\tloadI 7 => r1\n\tret r1\nend\n"
 	p, err := ir.ParseProgram(src)

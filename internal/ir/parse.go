@@ -61,6 +61,9 @@ func ParseFunction(src string) (*Function, error) {
 
 func parseFunc(lines []string, start int) (*Function, int, error) {
 	header := strings.Fields(strings.TrimSpace(lines[start]))
+	if len(header) < 2 {
+		return nil, 0, fmt.Errorf("line %d: func needs a name", start+1)
+	}
 	f := &Function{Name: header[1]}
 	for _, kv := range header[2:] {
 		parts := strings.SplitN(kv, "=", 2)
@@ -169,9 +172,22 @@ func parseInstr(line string) (*Instr, error) {
 		dst = strings.TrimSpace(rest[idx+2:])
 	}
 	operands := splitOperands(lhs)
+	// need guards every positional operand access below: a mnemonic with
+	// too few operands (e.g. a bare "loadI") must parse to an error, not
+	// an index-out-of-range panic — these are exactly the malformed lines
+	// a fuzz shrinker or a hostile service request produces.
+	need := func(n int) error {
+		if len(operands) < n {
+			return fmt.Errorf("%s needs %d operand(s), got %d", op, n, len(operands))
+		}
+		return nil
+	}
 	var err error
 	switch op {
 	case OpLoadI:
+		if err = need(1); err != nil {
+			return nil, err
+		}
 		if in.Imm, err = strconv.ParseInt(operands[0], 10, 64); err != nil {
 			return nil, err
 		}
@@ -179,6 +195,9 @@ func parseInstr(line string) (*Instr, error) {
 			return nil, err
 		}
 	case OpLoadF:
+		if err = need(1); err != nil {
+			return nil, err
+		}
 		if in.FImm, err = strconv.ParseFloat(operands[0], 64); err != nil {
 			return nil, err
 		}
@@ -186,6 +205,9 @@ func parseInstr(line string) (*Instr, error) {
 			return nil, err
 		}
 	case OpLea, OpGetParam, OpLdSpill:
+		if err = need(1); err != nil {
+			return nil, err
+		}
 		if in.Imm, err = strconv.ParseInt(operands[0], 10, 64); err != nil {
 			return nil, err
 		}
@@ -193,6 +215,9 @@ func parseInstr(line string) (*Instr, error) {
 			return nil, err
 		}
 	case OpStSpill:
+		if err = need(1); err != nil {
+			return nil, err
+		}
 		if in.Src1, err = parseReg(operands[0]); err != nil {
 			return nil, err
 		}
@@ -200,6 +225,9 @@ func parseInstr(line string) (*Instr, error) {
 			return nil, err
 		}
 	case OpStore:
+		if err = need(1); err != nil {
+			return nil, err
+		}
 		if in.Src1, err = parseReg(operands[0]); err != nil {
 			return nil, err
 		}
@@ -208,6 +236,9 @@ func parseInstr(line string) (*Instr, error) {
 		}
 	case OpLoadAI:
 		// loadAI r1, imm => dst
+		if err = need(2); err != nil {
+			return nil, err
+		}
 		if in.Src1, err = parseReg(operands[0]); err != nil {
 			return nil, err
 		}
@@ -219,6 +250,9 @@ func parseInstr(line string) (*Instr, error) {
 		}
 	case OpStoreAI:
 		// storeAI r1 => r2, imm
+		if err = need(1); err != nil {
+			return nil, err
+		}
 		if in.Src1, err = parseReg(operands[0]); err != nil {
 			return nil, err
 		}
@@ -233,6 +267,9 @@ func parseInstr(line string) (*Instr, error) {
 			return nil, err
 		}
 	case OpLoad:
+		if err = need(1); err != nil {
+			return nil, err
+		}
 		if in.Src1, err = parseReg(operands[0]); err != nil {
 			return nil, err
 		}
@@ -305,6 +342,9 @@ func parseInstr(line string) (*Instr, error) {
 				return nil, err
 			}
 		case op.IsUnaryALU():
+			if err = need(1); err != nil {
+				return nil, err
+			}
 			if in.Src1, err = parseReg(operands[0]); err != nil {
 				return nil, err
 			}

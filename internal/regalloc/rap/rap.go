@@ -22,7 +22,6 @@ package rap
 
 import (
 	"fmt"
-	"os"
 
 	"repro/internal/cfg"
 	"repro/internal/dataflow"
@@ -56,9 +55,10 @@ type Options struct {
 	// the paper's configuration). Extension, off by default.
 	Rematerialize bool
 	// Trace receives structured events and per-phase timings from all
-	// three RAP phases. nil (the default) is free on the hot path. As a
-	// backward-compatible shim for the old env-var debug dump, a nil
-	// Trace with RAP_DEBUG set installs a text sink on stderr.
+	// three RAP phases. nil (the default) is free on the hot path. The
+	// library never consults the environment; the RAP_DEBUG shim lives
+	// in the commands (rapcc/rapbench/rapserved), which decide the sink
+	// and pass it down here.
 	Trace *obs.Tracer
 }
 
@@ -103,9 +103,6 @@ func AllocateWithStats(f *ir.Function, k int, opts Options) (Stats, error) {
 	}
 	if opts.MaxIterations == 0 {
 		opts.MaxIterations = 100
-	}
-	if opts.Trace == nil && os.Getenv("RAP_DEBUG") != "" {
-		opts.Trace = obs.New(obs.NewTextSink(os.Stderr))
 	}
 	a := &allocator{
 		f:         f,

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// cache is a content-addressed LRU over completed job results. Only
+// StatusOK results are stored: a result is cacheable because the
+// pipeline is a pure function of the job's cache key (allocation is
+// deterministic, and region-level summaries carry no ambient state — see
+// DESIGN.md), whereas timeouts and cancellations describe the schedule,
+// not the program.
+//
+// Hit/miss/eviction counts go to the shared metrics registry under
+// serve.cache.*.
+type cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	m     *obs.Metrics
+}
+
+type cacheEntry struct {
+	key string
+	res Result
+}
+
+// newCache returns an LRU bound to capacity entries; capacity <= 0
+// disables caching (every lookup misses, nothing is stored).
+func newCache(capacity int, m *obs.Metrics) *cache {
+	return &cache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}, m: m}
+}
+
+// get returns the cached result for key, marking it most recently used.
+// The returned Result is a shared value: callers stamp their own ID and
+// Cached flag on the copy and must not mutate the slices.
+func (c *cache) get(key string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.m.Add("serve.cache.misses", 1)
+		return Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.m.Add("serve.cache.hits", 1)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores res under key, evicting the least recently used entry past
+// capacity.
+func (c *cache) put(key string, res Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.m.Add("serve.cache.entries", 1)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.m.Add("serve.cache.evictions", 1)
+		c.m.Add("serve.cache.entries", -1)
+	}
+}
+
+// len reports the current entry count.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestCacheLRU(t *testing.T) {
+	m := obs.NewMetrics()
+	c := newCache(2, m)
+
+	if _, ok := c.get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put("a", Result{ID: "a"})
+	c.put("b", Result{ID: "b"})
+	if res, ok := c.get("a"); !ok || res.ID != "a" {
+		t.Fatalf("get(a) = %+v, %v", res, ok)
+	}
+	// "a" is now most recently used, so inserting "c" must evict "b".
+	c.put("c", Result{ID: "c"})
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction; LRU order ignores recency")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted despite being most recently used")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+
+	snap := m.Snapshot().Counters
+	if snap["serve.cache.hits"] != 2 || snap["serve.cache.misses"] != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", snap["serve.cache.hits"], snap["serve.cache.misses"])
+	}
+	if snap["serve.cache.evictions"] != 1 {
+		t.Errorf("evictions = %d, want 1", snap["serve.cache.evictions"])
+	}
+	if snap["serve.cache.entries"] != 2 {
+		t.Errorf("entries counter = %d, want 2", snap["serve.cache.entries"])
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := newCache(4, nil)
+	c.put("k", Result{Ret: 1})
+	c.put("k", Result{Ret: 2})
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 after double put", c.len())
+	}
+	if res, _ := c.get("k"); res.Ret != 2 {
+		t.Errorf("get returned stale result %+v", res)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		c := newCache(capacity, nil)
+		c.put("k", Result{Ret: 1})
+		if _, ok := c.get("k"); ok {
+			t.Errorf("cap=%d: disabled cache stored a result", capacity)
+		}
+		if c.len() != 0 {
+			t.Errorf("cap=%d: len = %d, want 0", capacity, c.len())
+		}
+	}
+}
+
+func TestCacheEvictionChurn(t *testing.T) {
+	c := newCache(8, nil)
+	for i := 0; i < 100; i++ {
+		c.put(strconv.Itoa(i), Result{Ret: int64(i)})
+	}
+	if c.len() != 8 {
+		t.Fatalf("len = %d, want 8", c.len())
+	}
+	// The survivors are exactly the 8 most recent inserts.
+	for i := 92; i < 100; i++ {
+		if res, ok := c.get(strconv.Itoa(i)); !ok || res.Ret != int64(i) {
+			t.Errorf("recent key %d missing", i)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// BatchRequest is the POST /v1/batch body.
+type BatchRequest struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// BatchResponse is the POST /v1/batch reply: one result per job, in
+// request order.
+type BatchResponse struct {
+	Schema  string   `json:"schema"`
+	Results []Result `json:"results"`
+}
+
+// errorBody is the JSON shape of every non-2xx reply.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status string `json:"status"`
+}
+
+// Server is the daemon's HTTP surface over one Runner.
+type Server struct {
+	runner *Runner
+	hs     *http.Server
+	// MaxBatch bounds jobs per request (default 1024): a hard parse
+	// ceiling in front of the queue's admission control.
+	MaxBatch int
+}
+
+// NewServer wraps runner with the service endpoints.
+func NewServer(runner *Runner) *Server {
+	return &Server{runner: runner, MaxBatch: 1024}
+}
+
+// Handler returns the routed endpoints — also the test seam (httptest
+// mounts it directly).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/jobs", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// ListenAndServe serves on addr until Shutdown. It reports the bound
+// listener address through the ready callback (useful with ":0").
+func (s *Server) ListenAndServe(addr string, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr())
+	}
+	s.hs = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	if err := s.hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown drains gracefully: stop accepting connections, let in-flight
+// requests finish, then drain the runner (queued and running jobs
+// complete — nothing accepted is lost).
+func (s *Server) Shutdown(ctx context.Context) error {
+	var herr error
+	if s.hs != nil {
+		herr = s.hs.Shutdown(ctx)
+	}
+	if err := s.runner.Drain(ctx); err != nil {
+		return err
+	}
+	return herr
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, status string, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error(), Status: status})
+}
+
+// handleBatch runs a batch of jobs: per-job outcomes ride in a 200 body
+// (one bad job does not fail its neighbours); the whole batch is turned
+// away with 429 + Retry-After when the queue cannot take it, and with
+// 400 when the request itself cannot be parsed.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, StatusInvalid, errors.New("POST only"))
+		return
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, StatusInvalid, fmt.Errorf("bad batch body: %w", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, StatusInvalid, errors.New("batch has no jobs"))
+		return
+	}
+	if len(req.Jobs) > s.MaxBatch {
+		writeError(w, http.StatusBadRequest, StatusInvalid, fmt.Errorf("batch of %d exceeds limit %d", len(req.Jobs), s.MaxBatch))
+		return
+	}
+	// Whole-batch admission: either every job is accepted or the batch
+	// is turned away, so callers never see a half-run batch on
+	// backpressure.
+	tasks := make([]*Task, len(req.Jobs))
+	for i, job := range req.Jobs {
+		t, err := s.runner.Submit(r.Context(), job)
+		if err != nil {
+			for _, prev := range tasks[:i] {
+				prev.Wait() // let already-accepted jobs finish; results discarded
+			}
+			s.reject(w, err)
+			return
+		}
+		tasks[i] = t
+	}
+	resp := BatchResponse{Schema: Schema, Results: make([]Result, len(tasks))}
+	for i, t := range tasks {
+		resp.Results[i] = t.Wait()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJob runs a single job. Unlike the batch endpoint, a job-level
+// rejection is the whole request's outcome, so StatusInvalid maps to
+// 400, timeouts to 504, pipeline failures to 500.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, StatusInvalid, errors.New("POST only"))
+		return
+	}
+	var job Job
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		writeError(w, http.StatusBadRequest, StatusInvalid, fmt.Errorf("bad job body: %w", err))
+		return
+	}
+	res, err := s.runner.Do(r.Context(), job)
+	if err != nil {
+		s.reject(w, err)
+		return
+	}
+	writeJSON(w, httpCode(res.Status), res)
+}
+
+// reject translates runner admission errors.
+func (s *Server) reject(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, StatusError, err)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, StatusError, err)
+	default:
+		writeError(w, http.StatusInternalServerError, StatusError, err)
+	}
+}
+
+// httpCode maps a single job's status to the response code.
+func httpCode(status string) int {
+	switch status {
+	case StatusOK:
+		return http.StatusOK
+	case StatusInvalid:
+		return http.StatusBadRequest
+	case StatusTimeout:
+		return http.StatusGatewayTimeout
+	case StatusCanceled:
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.runner.Health())
+}
+
+// handleMetrics serves the obs metrics snapshot (schema rap/metrics/v1):
+// the serve.* counters plus every pipeline counter the jobs' forked
+// tracers merged back.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.runner.Metrics().Snapshot().WriteJSON(w)
+}

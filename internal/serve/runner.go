@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fuzz"
+	"repro/internal/obs"
+)
+
+// ErrQueueFull reports that the runner's bounded queue cannot take the
+// work right now — the backpressure signal the HTTP layer turns into
+// 429 + Retry-After.
+var ErrQueueFull = errors.New("job queue full")
+
+// ErrDraining reports that the runner has stopped accepting work (it is
+// shutting down gracefully).
+var ErrDraining = errors.New("runner draining")
+
+// RunnerConfig sizes the execution core.
+type RunnerConfig struct {
+	// Workers bounds concurrent job execution (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds accepted-but-unstarted jobs (default 4×Workers).
+	// A full queue rejects with ErrQueueFull rather than growing without
+	// bound.
+	QueueDepth int
+	// CacheSize bounds the content-addressed result cache in entries
+	// (default 256; negative disables caching).
+	CacheSize int
+	// JobTimeout is the per-job wall-clock ceiling. A job may ask for
+	// less via TimeoutMS but never more (default 30s).
+	JobTimeout time.Duration
+	// MaxCycles is the default interpreter budget for jobs that do not
+	// set their own (0 defers to the interpreter's 500M).
+	MaxCycles int64
+	// Tracer observes every compilation; its metrics registry (if any)
+	// also receives the serve.* counters. When nil a private registry is
+	// created so /metrics always has content.
+	Tracer *obs.Tracer
+}
+
+func (cfg *RunnerConfig) fill() {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 30 * time.Second
+	}
+	if cfg.Tracer.Metrics() == nil {
+		cfg.Tracer = cfg.Tracer.WithMetrics(obs.NewMetrics())
+	}
+}
+
+// Task is one accepted job and its completion rendezvous.
+type Task struct {
+	ctx  context.Context
+	job  Job
+	res  Result
+	done chan struct{}
+}
+
+// Runner is the shared execution core: a bounded worker pool with
+// panic-isolated, timeout-bounded, cache-fronted job execution. One
+// Runner serves the HTTP daemon, the JSONL batch mode and the CLI alike.
+type Runner struct {
+	cfg     RunnerConfig
+	metrics *obs.Metrics
+	cache   *cache
+	queue   chan *Task
+	// pending counts accepted-but-unfinished tasks; it enforces the
+	// queue bound atomically across multi-job batches.
+	pending atomic.Int64
+	// mu guards the accept path against Drain: Submit holds the read
+	// side across its queue send, Drain flips draining under the write
+	// side, so the queue is never closed with a send in flight.
+	mu       sync.RWMutex
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// NewRunner starts cfg.Workers workers and returns the runner. Call
+// Drain to shut it down.
+func NewRunner(cfg RunnerConfig) *Runner {
+	cfg.fill()
+	r := &Runner{
+		cfg:     cfg,
+		metrics: cfg.Tracer.Metrics(),
+		queue:   make(chan *Task, cfg.QueueDepth+cfg.Workers),
+	}
+	r.cache = newCache(cfg.CacheSize, r.metrics)
+	r.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+// Metrics returns the registry the runner reports into.
+func (r *Runner) Metrics() *obs.Metrics { return r.metrics }
+
+// Workers returns the pool width.
+func (r *Runner) Workers() int { return r.cfg.Workers }
+
+// QueueDepth returns the accepted-work bound.
+func (r *Runner) QueueDepth() int { return r.cfg.QueueDepth }
+
+// Pending returns the number of accepted-but-unfinished jobs.
+func (r *Runner) Pending() int { return int(r.pending.Load()) }
+
+// CacheLen returns the current cache entry count.
+func (r *Runner) CacheLen() int { return r.cache.len() }
+
+// Submit enqueues one job without blocking. It fails fast with
+// ErrQueueFull when the queue bound is reached and ErrDraining during
+// shutdown; otherwise the returned channel is closed when the job
+// finishes and Result carries the outcome. ctx cancellation applies to
+// the job's execution, not to the wait.
+func (r *Runner) Submit(ctx context.Context, job Job) (*Task, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.draining {
+		return nil, ErrDraining
+	}
+	// Reserve a queue slot; undo on overflow. The reservation (not the
+	// channel) is the bound, so a batch can check capacity job by job;
+	// the channel is sized past the bound and never blocks a producer.
+	if r.pending.Add(1) > int64(r.cfg.QueueDepth) {
+		r.pending.Add(-1)
+		r.metrics.Add("serve.queue.rejects", 1)
+		return nil, ErrQueueFull
+	}
+	t := &Task{ctx: ctx, job: job, done: make(chan struct{})}
+	r.metrics.Add("serve.jobs.accepted", 1)
+	r.queue <- t
+	return t, nil
+}
+
+// Wait blocks until the task finishes and returns its result.
+func (t *Task) Wait() Result {
+	<-t.done
+	return t.res
+}
+
+// Do runs one job synchronously: Submit + Wait. Queue overflow and
+// draining surface as the error, not a Result.
+func (r *Runner) Do(ctx context.Context, job Job) (Result, error) {
+	t, err := r.Submit(ctx, job)
+	if err != nil {
+		return Result{}, err
+	}
+	return t.Wait(), nil
+}
+
+// RunBatch submits every job and waits for all of them, preserving input
+// order. Jobs the queue cannot take are reported in-place with
+// StatusError and the backpressure error rather than failing the batch —
+// offline callers that prefer blocking should size the queue to the
+// batch.
+func (r *Runner) RunBatch(ctx context.Context, jobs []Job) []Result {
+	tasks := make([]*Task, len(jobs))
+	out := make([]Result, len(jobs))
+	for i, job := range jobs {
+		t, err := r.Submit(ctx, job)
+		if err != nil {
+			out[i] = Result{ID: job.ID, Status: StatusError, Error: err.Error()}
+			continue
+		}
+		tasks[i] = t
+	}
+	for i, t := range tasks {
+		if t != nil {
+			out[i] = t.Wait()
+		}
+	}
+	return out
+}
+
+// TryReserve reports whether n more jobs currently fit in the queue —
+// the HTTP layer's whole-batch admission check. It does not hold the
+// reservation; admission and enqueue race benignly (a concurrent burst
+// falls back to per-job rejects).
+func (r *Runner) TryReserve(n int) bool {
+	return int(r.pending.Load())+n <= r.cfg.QueueDepth
+}
+
+// Drain stops accepting new work, waits for accepted jobs (queued and
+// in-flight) to finish, and stops the workers. It returns nil on a clean
+// drain or ctx's error if the deadline expires first — in which case
+// workers are abandoned mid-job but, because every job runs under an
+// isolated context, they unwind on their own afterwards.
+func (r *Runner) Drain(ctx context.Context) error {
+	r.mu.Lock()
+	already := r.draining
+	r.draining = true
+	r.mu.Unlock()
+	if already {
+		return nil // second Drain: already draining/drained
+	}
+	close(r.queue)
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue, executing one job at a time.
+func (r *Runner) worker() {
+	defer r.wg.Done()
+	for t := range r.queue {
+		t.res = r.execute(t.ctx, t.job)
+		r.pending.Add(-1)
+		close(t.done)
+	}
+}
+
+// execute runs one job through validation, the cache, and the isolated
+// pipeline, and classifies the outcome.
+func (r *Runner) execute(ctx context.Context, job Job) Result {
+	start := time.Now()
+	r.metrics.Add("serve.jobs.started", 1)
+	finish := func(res Result) Result {
+		if res.DurationMS == 0 {
+			res.DurationMS = time.Since(start).Milliseconds()
+		}
+		r.metrics.Add("serve.jobs."+res.Status, 1)
+		return res
+	}
+	if err := job.Validate(); err != nil {
+		return finish(Result{ID: job.ID, Status: StatusInvalid, Error: err.Error()})
+	}
+	key := job.CacheKey()
+	if hit, ok := r.cache.get(key); ok {
+		hit.ID = job.ID
+		hit.Cached = true
+		return finish(hit)
+	}
+	timeout := r.cfg.JobTimeout
+	if job.TimeoutMS > 0 {
+		if d := time.Duration(job.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	if job.MaxCycles == 0 {
+		job.MaxCycles = r.cfg.MaxCycles
+	}
+	// Each job compiles under a forked tracer (private metrics registry,
+	// shared sinks) merged back at the join, so concurrent jobs do not
+	// contend on one mutex and the registry only sees whole-job
+	// contributions.
+	tr := r.cfg.Tracer.Fork()
+	var outcome *Outcome
+	err := fuzz.RunIsolated(ctx, timeout, func(cctx context.Context) error {
+		var uerr error
+		outcome, uerr = ExecuteJob(cctx, job, ExecOptions{Tracer: tr})
+		return uerr
+	})
+	r.cfg.Tracer.Join(tr)
+	if err != nil {
+		status := Classify(err)
+		return finish(Result{ID: job.ID, Status: status, Error: err.Error()})
+	}
+	res := resultFromOutcome(job, outcome)
+	res.DurationMS = time.Since(start).Milliseconds()
+	r.cache.put(key, res)
+	return finish(res)
+}
+
+// Healthz is the service's liveness summary.
+type Healthz struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+	Queue   int    `json:"queue_depth"`
+	Pending int    `json:"pending"`
+	Cache   int    `json:"cache_entries"`
+}
+
+// Health reports the runner's current shape.
+func (r *Runner) Health() Healthz {
+	r.mu.RLock()
+	draining := r.draining
+	r.mu.RUnlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	return Healthz{
+		Status:  status,
+		Workers: r.cfg.Workers,
+		Queue:   r.cfg.QueueDepth,
+		Pending: r.Pending(),
+		Cache:   r.CacheLen(),
+	}
+}
+
+// String helps log lines.
+func (h Healthz) String() string {
+	return fmt.Sprintf("status=%s workers=%d queue=%d pending=%d cache=%d", h.Status, h.Workers, h.Queue, h.Pending, h.Cache)
+}

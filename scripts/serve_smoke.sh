@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — CI smoke test for the rapserved daemon: start it, POST
+# a batch twice (the second run must hit the result cache), scrape
+# /metrics and /healthz, then SIGTERM it and require a clean drain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN=$(mktemp -d)/rapserved
+LOG=$(mktemp)
+ADDR=127.0.0.1:18080
+
+go build -o "$BIN" ./cmd/rapserved
+
+"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+SRV=$!
+trap 'kill -9 $SRV 2>/dev/null || true' EXIT
+
+# Wait for the listener.
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" | grep -q '"status": "ok"' || {
+    echo "FAIL: daemon never became healthy"; cat "$LOG"; exit 1; }
+
+BATCH='{"jobs":[
+  {"id":"ok",      "source":"int main() { print(40+2); return 0; }", "allocator":"rap", "k":5},
+  {"id":"bad",     "source":"int main( {", "allocator":"rap", "k":5},
+  {"id":"compare", "source":"int main() { print(40+2); return 0; }", "mode":"compare", "ks":[3,5]}
+]}'
+
+# First run computes; per-job statuses ride in a 200 body.
+OUT=$(curl -sf -X POST "http://$ADDR/v1/batch" -d "$BATCH")
+echo "$OUT" | grep -q '"id": "ok"'       || { echo "FAIL: ok job missing"; echo "$OUT"; exit 1; }
+echo "$OUT" | grep -q '"status": "invalid"' || { echo "FAIL: bad job not invalid"; echo "$OUT"; exit 1; }
+echo "$OUT" | grep -q '"measurements"'   || { echo "FAIL: compare job has no measurements"; echo "$OUT"; exit 1; }
+if echo "$OUT" | grep -q '"cached": true'; then
+    echo "FAIL: first batch reported a cache hit"; echo "$OUT"; exit 1
+fi
+
+# Second, identical run must be served from the cache.
+OUT=$(curl -sf -X POST "http://$ADDR/v1/batch" -d "$BATCH")
+echo "$OUT" | grep -q '"cached": true' || { echo "FAIL: resubmission missed the cache"; echo "$OUT"; exit 1; }
+
+# The hit is visible in /metrics.
+METRICS=$(curl -sf "http://$ADDR/metrics")
+echo "$METRICS" | grep -q '"schema": "rap/metrics/v1"' || { echo "FAIL: bad metrics schema"; exit 1; }
+echo "$METRICS" | grep -Eq '"serve\.cache\.hits": [1-9]' || {
+    echo "FAIL: no cache hits in /metrics"; echo "$METRICS"; exit 1; }
+
+# Graceful drain: SIGTERM, daemon exits 0 and logs a clean drain.
+kill -TERM $SRV
+for _ in $(seq 1 100); do
+    kill -0 $SRV 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 $SRV 2>/dev/null; then
+    echo "FAIL: daemon still running 10s after SIGTERM"; cat "$LOG"; exit 1
+fi
+wait $SRV && RC=0 || RC=$?
+[ "$RC" -eq 0 ] || { echo "FAIL: daemon exited $RC"; cat "$LOG"; exit 1; }
+grep -q "drained cleanly" "$LOG" || { echo "FAIL: no clean-drain log line"; cat "$LOG"; exit 1; }
+trap - EXIT
+
+echo "PASS: serve smoke (batch, cache hit, metrics, SIGTERM drain)"
