@@ -11,6 +11,7 @@
 //	rapbench -merge-stmts        # region-granularity ablation
 //	rapbench -json out.json      # machine-readable record ("rap/bench/v1")
 //	rapbench -parallel 4         # bound the (program,k) worker pool
+//	rapbench -store /tmp/rap     # cold/warm double-run against a persistent region-memo store
 //	rapbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -45,6 +46,7 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 		suite    = flag.String("suite", "paper", "benchmark set: paper (Table 1 rows) or extended (adds bubble/quick/mm/whetstone/ackermann)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the (program,k) comparison units; 1 = sequential (output is identical either way)")
+		storeDir = flag.String("store", "", "run the suite twice (cold, then warm) against a persistent artifact store in this directory and report hit rates; -json writes the rap/bench-store/v1 record")
 	)
 	flag.Parse()
 	// Ctrl-C (or a CI job cancellation) stops pending and in-flight
@@ -99,6 +101,10 @@ func main() {
 	}
 	cfg := core.CompareConfig{Lower: lower.Options{MergeStatements: *merge}, Parallel: *parallel, Verify: *verify}
 	cfg.Trace = debugTracer()
+	if *storeDir != "" {
+		runStoreBench(ctx, *storeDir, progs, ks, cfg, *jsonOut, names)
+		return
+	}
 	var metrics *obs.Metrics
 	if *jsonOut != "" {
 		metrics = obs.NewMetrics()

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// StoreSchema names the -store double-run's machine-readable output.
+const StoreSchema = "rap/bench-store/v1"
+
+// storePass records one full-suite run against the persistent store.
+type storePass struct {
+	Label       string `json:"label"`
+	WallMS      int64  `json:"wall_ms"`
+	RAPAllocUS  int64  `json:"rap_alloc_us"`
+	GRAAllocUS  int64  `json:"gra_alloc_us"`
+	MemoHits    int64  `json:"memo_hits"`
+	MemoMisses  int64  `json:"memo_misses"`
+	MemoStores  int64  `json:"memo_stores"`
+	StoreHits   int64  `json:"store_hits"`
+	StoreMisses int64  `json:"store_misses"`
+	StoreWrites int64  `json:"store_writes"`
+}
+
+// storeReport is the full -store -json document: the cold/warm pass
+// economics plus the proof that memoization never changed a number.
+type storeReport struct {
+	Schema         string      `json:"schema"`
+	Ks             []int       `json:"ks"`
+	Cold           storePass   `json:"cold"`
+	Warm           storePass   `json:"warm"`
+	RowsIdentical  bool        `json:"rows_identical"`
+	OverallAvgPct  float64     `json:"overall_avg_pct"`
+	StoreArtifacts int         `json:"store_artifacts"`
+	StoreBytes     int64       `json:"store_bytes"`
+	Table1         []JSONRowKs `json:"summary"`
+}
+
+// JSONRowKs is the per-k aggregate embedded in the store report.
+type JSONRowKs struct {
+	K        int     `json:"k"`
+	AvgTotal float64 `json:"avg_pct_total"`
+}
+
+// runStoreBench runs the Table 1 suite twice against one persistent
+// store directory — a cold pass that populates RAP's region memo and a
+// warm pass that reopens the store and allocates through it — and
+// reports the wall clock and hit-rate economics of both. The warm
+// pass's Table 1 must be byte-identical to the cold pass's (memoization
+// is sound or it is broken); a difference is fatal.
+func runStoreBench(ctx context.Context, dir string, progs []bench.Program, ks []int, base core.CompareConfig, jsonOut string, only []string) {
+	path := filepath.Join(dir, "artifacts.log")
+
+	var artifacts int
+	var bytes int64
+	runPass := func(label string) ([]bench.Row, storePass) {
+		m := obs.NewMetrics()
+		st, err := store.Open(path, store.Options{Metrics: m})
+		if err != nil {
+			fatal(err)
+		}
+		cfg := base
+		cfg.RAP.Memo = store.Prefixed(st, "memo/")
+		if cfg.Trace != nil {
+			cfg.Trace = cfg.Trace.WithMetrics(m)
+		}
+		start := time.Now()
+		rows, err := bench.MeasureTimedContext(ctx, progs, ks, cfg, m, only...)
+		wall := time.Since(start)
+		if err != nil {
+			st.Close()
+			fatal(fmt.Errorf("%s pass: %w", label, err))
+		}
+		artifacts, bytes = st.Len(), st.SizeBytes()
+		if err := st.Close(); err != nil {
+			fatal(err)
+		}
+		snap := m.Snapshot()
+		c := snap.Counters
+		return rows, storePass{
+			Label:       label,
+			WallMS:      wall.Milliseconds(),
+			RAPAllocUS:  snap.TimingsNS["alloc.rap"] / 1e3,
+			GRAAllocUS:  snap.TimingsNS["alloc.gra"] / 1e3,
+			MemoHits:    c["rap.memo.hits"],
+			MemoMisses:  c["rap.memo.misses"],
+			MemoStores:  c["rap.memo.stores"],
+			StoreHits:   c["store.hit"],
+			StoreMisses: c["store.miss"],
+			StoreWrites: c["store.write"],
+		}
+	}
+
+	coldRows, cold := runPass("cold")
+	warmRows, warm := runPass("warm")
+
+	coldText, warmText := bench.Format(coldRows, ks), bench.Format(warmRows, ks)
+	if coldText != warmText {
+		fatal(fmt.Errorf("warm-pass Table 1 differs from cold pass — memoized allocation is unsound"))
+	}
+
+	fmt.Print(warmText)
+	fmt.Printf("\npersistent store: %s (%d artifacts, %d bytes)\n", path, artifacts, bytes)
+	for _, p := range []storePass{cold, warm} {
+		fmt.Printf("%-5s %6d ms wall, %6d us in RAP alloc   memo %d hits / %d misses / %d stores   store %d hits / %d writes\n",
+			p.Label, p.WallMS, p.RAPAllocUS, p.MemoHits, p.MemoMisses, p.MemoStores, p.StoreHits, p.StoreWrites)
+	}
+	fmt.Println("Table 1 identical across passes: true")
+
+	if jsonOut == "" {
+		return
+	}
+	rep := storeReport{
+		Schema: StoreSchema, Ks: ks, Cold: cold, Warm: warm,
+		RowsIdentical:  true,
+		OverallAvgPct:  bench.OverallAverage(bench.Summarize(warmRows, ks)),
+		StoreArtifacts: artifacts, StoreBytes: bytes,
+	}
+	for _, s := range bench.Summarize(warmRows, ks) {
+		rep.Table1 = append(rep.Table1, JSONRowKs{K: s.K, AvgTotal: s.AvgTotal})
+	}
+	f, err := os.Create(jsonOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		fatal(err)
+	}
+}

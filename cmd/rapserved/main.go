@@ -8,6 +8,7 @@
 //
 //	rapserved -addr :8080                 # serve HTTP
 //	rapserved -batch < jobs.jsonl         # offline: one job/result per line
+//	rapserved -store-dir /var/lib/rap     # persist results + region memos across restarts
 //
 // Endpoints:
 //
@@ -28,11 +29,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -46,6 +49,8 @@ func main() {
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain may take before giving up")
 		batch      = flag.Bool("batch", false, "offline mode: read job JSONL from stdin, write result JSONL to stdout, exit")
 		traceOut   = flag.String("trace-out", "", "write allocation/pipeline events as JSON lines to this file")
+		storeDir   = flag.String("store-dir", "", "persist results and region summaries in this directory (warm-started on boot)")
+		storeMax   = flag.Int64("store-max-bytes", 0, "size bound for the persistent store before GC by access time (0 = 64 MiB)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -71,6 +76,27 @@ func main() {
 	}
 	tracer := obs.New(sinks...).WithMetrics(obs.NewMetrics())
 
+	// The persistent artifact store outlives the process: results reload
+	// into the cache on boot and RAP's region memo accumulates across
+	// restarts. It closes after the drain, when no worker can still write.
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(filepath.Join(*storeDir, "artifacts.log"), store.Options{
+			MaxBytes: *storeMax,
+			Metrics:  tracer.Metrics(),
+		})
+		if err != nil {
+			log.Fatalf("rapserved: open store: %v", err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("rapserved: close store: %v", err)
+			}
+		}()
+		log.Printf("rapserved: store %s (%d artifacts, %d bytes)", st.Path(), st.Len(), st.SizeBytes())
+	}
+
 	runner := serve.NewRunner(serve.RunnerConfig{
 		Workers:    *workers,
 		QueueDepth: *queue,
@@ -78,6 +104,7 @@ func main() {
 		JobTimeout: *jobTimeout,
 		MaxCycles:  *maxCycles,
 		Tracer:     tracer,
+		Store:      st,
 	})
 
 	if *batch {

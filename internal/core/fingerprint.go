@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/canon"
+	"repro/internal/ir"
+	"repro/internal/pdg"
+	"repro/internal/regalloc/rap"
+)
+
+// RegionFingerprint is one region subtree's canonical hash.
+type RegionFingerprint struct {
+	Region int    `json:"region"`
+	Kind   string `json:"kind"`
+	Fp     string `json:"fp"`
+	Regs   int    `json:"regs"`
+}
+
+// FunctionFingerprint is one function's canonical hash together with the
+// hash of every region subtree — the exact keys RAP's incremental memo
+// and the persistent artifact store address artifacts by — plus the
+// function's dependence-structure hash (pdg.Graph.Fingerprint).
+type FunctionFingerprint struct {
+	Func    string              `json:"func"`
+	Fp      string              `json:"fp"`
+	PDG     string              `json:"pdg"`
+	Regions []RegionFingerprint `json:"regions"`
+}
+
+// Fingerprints computes the canonical structural fingerprints of every
+// function in an unallocated program under the given allocator
+// configuration: the salt is rap.MemoSalt(k, opts), so the printed
+// region keys are exactly the memo's.
+func Fingerprints(p *ir.Program, k int, opts rap.Options) ([]FunctionFingerprint, error) {
+	salt := rap.MemoSalt(k, opts)
+	out := make([]FunctionFingerprint, 0, len(p.Funcs))
+	for _, f := range p.Funcs {
+		h, err := canon.NewHasher(f, salt)
+		if err != nil {
+			return nil, fmt.Errorf("fingerprint %s: %w", f.Name, err)
+		}
+		ff := FunctionFingerprint{Func: f.Name, Fp: h.Function().String()}
+		if g, err := pdg.Build(f); err == nil {
+			ff.PDG = g.Fingerprint()
+		}
+		f.Regions.Walk(func(r *ir.Region) {
+			key := h.Region(r)
+			ff.Regions = append(ff.Regions, RegionFingerprint{
+				Region: r.ID, Kind: r.Kind.String(), Fp: key.Fp.String(), Regs: len(key.Regs),
+			})
+		})
+		out = append(out, ff)
+	}
+	return out, nil
+}

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lower"
+	"repro/internal/regalloc/rap"
+	"repro/internal/testutil"
+)
+
+const fpSrc = `
+int main() {
+	int i = 0;
+	int t = 0;
+	while (i < 8) {
+		t = t + i;
+		i = i + 1;
+	}
+	print(t);
+	return 0;
+}
+`
+
+// TestFingerprintsDeterministicAndSalted: the report is identical
+// across computations of the same program, and both k and the
+// allocator configuration separate the hashes (they are memo keys —
+// config must be part of the address).
+func TestFingerprintsDeterministic(t *testing.T) {
+	p, err := testutil.Compile(fpSrc, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Fingerprints(p, 5, rap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Fingerprints(p, 5, rap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("fingerprints differ across identical computations")
+	}
+	if len(a) == 0 || a[0].Fp == "" || a[0].PDG == "" || len(a[0].Regions) == 0 {
+		t.Fatalf("incomplete report: %+v", a)
+	}
+
+	k7, err := core.Fingerprints(p, 7, rap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k7[0].Fp == a[0].Fp {
+		t.Fatal("k=7 function hash equals k=5")
+	}
+	coal, err := core.Fingerprints(p, 5, rap.Options{Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coal[0].Fp == a[0].Fp {
+		t.Fatal("coalesce-config function hash equals default config")
+	}
+	// The PDG hash is structural only — allocator config must NOT move it.
+	if k7[0].PDG != a[0].PDG || coal[0].PDG != a[0].PDG {
+		t.Fatal("pdg hash varies with allocator configuration")
+	}
+}

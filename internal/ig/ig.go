@@ -181,6 +181,21 @@ func (g *Graph) Nodes() []*Node {
 	return out
 }
 
+// NodesByID returns the live nodes in arena (creation) order. Serializing
+// a graph in this order and recreating nodes in the same order rebuilds
+// an arena with identical ids — which is what makes a stored summary
+// graph byte-equivalent to the freshly computed one (adjacency iteration
+// follows ids).
+func (g *Graph) NodesByID() []*Node {
+	out := make([]*Node, 0, g.live)
+	for _, n := range g.nodes {
+		if n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // Regs returns all member registers in ascending order.
 func (g *Graph) Regs() []ir.Reg {
 	out := make([]ir.Reg, 0, len(g.byReg))

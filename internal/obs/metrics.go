@@ -105,6 +105,26 @@ func (m *Metrics) Snapshot() Snapshot {
 	return s
 }
 
+// Overlay copies every counter and timing of other into s under the
+// given key prefix — how a scrape composes a secondary snapshot (e.g.
+// the last executed job's pipeline metrics) into a primary one without
+// the two key spaces colliding.
+func (s Snapshot) Overlay(prefix string, other *Snapshot) Snapshot {
+	if other == nil {
+		return s
+	}
+	for k, v := range other.Counters {
+		s.Counters[prefix+k] = v
+	}
+	if len(other.TimingsNS) > 0 && s.TimingsNS == nil {
+		s.TimingsNS = map[string]int64{}
+	}
+	for k, v := range other.TimingsNS {
+		s.TimingsNS[prefix+k] = v
+	}
+	return s
+}
+
 // WriteJSON writes the snapshot as indented JSON. encoding/json sorts
 // map keys, so the output is byte-stable for equal snapshots.
 func (s Snapshot) WriteJSON(w io.Writer) error {

@@ -1,0 +1,47 @@
+package pdg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a canonical hash of the dependence structure: the
+// nodes in ID order with their kinds and control-dependence sets, and
+// the sorted edge list with kinds and labels. It is the PDG-level
+// analogue of canon's region keys — two builds of structurally
+// identical functions hash equal, and any change to a dependence (a
+// moved statement, a new control condition, a different value flow)
+// changes the hash. Build emits nodes and edges in canonical order, so
+// no sorting happens here.
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	u := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		u(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	str("pdg/v1")
+	u(uint64(len(g.Nodes)))
+	for _, n := range g.Nodes {
+		u(uint64(n.Kind))
+		u(uint64(len(n.Conds)))
+		for _, c := range n.Conds {
+			u(uint64(c.Pred))
+			str(c.Label)
+		}
+		str(n.Label)
+	}
+	u(uint64(len(g.Edges)))
+	for _, e := range g.Edges {
+		u(uint64(e.From))
+		u(uint64(e.To))
+		u(uint64(e.Kind))
+		str(e.Label)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,100 @@
+package pdg_test
+
+import (
+	"testing"
+
+	"repro/internal/lower"
+	"repro/internal/pdg"
+	"repro/internal/randprog"
+	"repro/internal/testutil"
+)
+
+// fingerprintsOf builds the PDG of every function and returns the
+// hashes keyed by function name.
+func fingerprintsOf(t *testing.T, src string) map[string]string {
+	t.Helper()
+	p, err := testutil.Compile(src, lower.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	out := map[string]string{}
+	for _, f := range p.Funcs {
+		g, err := pdg.Build(f)
+		if err != nil {
+			t.Fatalf("pdg.Build(%s): %v", f.Name, err)
+		}
+		out[f.Name] = g.Fingerprint()
+	}
+	return out
+}
+
+// TestFingerprintStableAcrossReparse: compiling the same source twice
+// yields the same PDG fingerprints, over a corpus of random programs.
+func TestFingerprintStableAcrossReparse(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		src := randprog.Generate(seed, randprog.DefaultConfig())
+		a, b := fingerprintsOf(t, src), fingerprintsOf(t, src)
+		if len(a) == 0 {
+			t.Fatalf("seed %d: no functions", seed)
+		}
+		for name, fp := range a {
+			if b[name] != fp {
+				t.Errorf("seed %d: %s hashes %s then %s across re-parses", seed, name, fp, b[name])
+			}
+		}
+	}
+}
+
+// TestFingerprintSeesStructuralChange: a one-token semantic change to
+// the source changes the containing function's fingerprint, and an
+// added dependence (an extra statement) does too.
+func TestFingerprintSeesStructuralChange(t *testing.T) {
+	base := `
+int main() {
+	int i = 1;
+	int t = 0;
+	while (i < 10) {
+		t = t + i;
+		i = i + 1;
+	}
+	print(t);
+	return 0;
+}
+`
+	variants := map[string]string{
+		"changed constant": `
+int main() {
+	int i = 1;
+	int t = 0;
+	while (i < 11) {
+		t = t + i;
+		i = i + 1;
+	}
+	print(t);
+	return 0;
+}
+`,
+		"extra statement": `
+int main() {
+	int i = 1;
+	int t = 0;
+	while (i < 10) {
+		t = t + i;
+		t = t + 1;
+		i = i + 1;
+	}
+	print(t);
+	return 0;
+}
+`,
+	}
+	want := fingerprintsOf(t, base)["main"]
+	if want == "" {
+		t.Fatal("no fingerprint for main")
+	}
+	for label, src := range variants {
+		if got := fingerprintsOf(t, src)["main"]; got == want {
+			t.Errorf("%s: fingerprint unchanged (%s)", label, got)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package rap_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/randprog"
+	"repro/internal/regalloc/rap"
+	"repro/internal/testutil"
+	"repro/internal/verify"
+)
+
+// memoCorpus compiles a deterministic randprog corpus and calls fn for
+// every function, returning how many functions it visited.
+func memoCorpus(t *testing.T, seeds int64, fn func(seed int64, f *ir.Function)) int {
+	t.Helper()
+	cfg := randprog.Config{MaxFuncs: 2, MaxStmtsPerBlock: 5, MaxDepth: 3, Floats: true}
+	funcs := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		p, err := testutil.Compile(randprog.Generate(seed, cfg), lower.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, f := range p.Funcs {
+			funcs++
+			fn(seed, f)
+		}
+	}
+	return funcs
+}
+
+// diffOne allocates f three ways — memo off, memo on against the shared
+// store (cold or warm), memo on again — and asserts the results are
+// byte-identical. Returns both memo runs' stats.
+func diffOne(t *testing.T, seed int64, f *ir.Function, k int, base rap.Options, memo *rap.MapMemo) (rap.Stats, rap.Stats) {
+	t.Helper()
+	off := f.Clone()
+	offErr := rap.Allocate(off, k, base)
+
+	withMemo := base
+	withMemo.Memo = memo
+	first := f.Clone()
+	st1, firstErr := rap.AllocateWithStats(first, k, withMemo)
+	second := f.Clone()
+	st, secondErr := rap.AllocateWithStats(second, k, withMemo)
+
+	if (offErr == nil) != (firstErr == nil) || (offErr == nil) != (secondErr == nil) {
+		t.Fatalf("seed %d func %s k=%d: error divergence: off=%v first=%v second=%v",
+			seed, f.Name, k, offErr, firstErr, secondErr)
+	}
+	if offErr != nil {
+		return st1, st
+	}
+	if off.String() != first.String() {
+		t.Fatalf("seed %d func %s k=%d: memo-on (pass 1) differs from memo-off:\n--- off ---\n%s\n--- memo ---\n%s",
+			seed, f.Name, k, off.String(), first.String())
+	}
+	if off.String() != second.String() {
+		t.Fatalf("seed %d func %s k=%d: memo-on (pass 2, warm) differs from memo-off:\n--- off ---\n%s\n--- memo ---\n%s",
+			seed, f.Name, k, off.String(), second.String())
+	}
+	return st1, st
+}
+
+// TestMemoDifferential is the tentpole's acceptance test: across ≥200
+// randomly generated functions and k ∈ {3,5,7,9}, allocation with the
+// region memo enabled — cold and warm, sharing one memo per k across the
+// whole corpus so cross-function reuse happens — is byte-identical to
+// allocation with the memo disabled.
+func TestMemoDifferential(t *testing.T) {
+	for _, k := range []int{3, 5, 7, 9} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			t.Parallel()
+			memo := rap.NewMapMemo()
+			warmHits, stores := 0, 0
+			funcs := memoCorpus(t, 110, func(seed int64, f *ir.Function) {
+				st1, st2 := diffOne(t, seed, f, k, rap.Options{}, memo)
+				warmHits += st2.MemoHits
+				stores += st1.MemoStores
+			})
+			if funcs < 200 {
+				t.Fatalf("corpus has %d functions, want >= 200", funcs)
+			}
+			if stores == 0 {
+				t.Fatal("no summaries were ever recorded")
+			}
+			if warmHits == 0 {
+				t.Fatal("warm passes never hit the memo")
+			}
+		})
+	}
+}
+
+// TestMemoDifferentialCoalesce repeats the differential under the §5
+// coalescing extension: the salt separates the configurations, and the
+// memoized results must still match exactly.
+func TestMemoDifferentialCoalesce(t *testing.T) {
+	memo := rap.NewMapMemo()
+	hits := 0
+	memoCorpus(t, 30, func(seed int64, f *ir.Function) {
+		_, st2 := diffOne(t, seed, f, 5, rap.Options{Coalesce: true}, memo)
+		hits += st2.MemoHits
+	})
+	if hits == 0 {
+		t.Fatal("warm passes never hit the memo under coalescing")
+	}
+}
+
+// TestMemoSaltSeparatesConfigs: artifacts recorded at one k live under
+// fingerprints a run at another k can never look up — the key sets of
+// the two configurations are disjoint. (Hit counts can't show this: a
+// run may hit artifacts it recorded itself for identical sibling
+// subtrees.)
+func TestMemoSaltSeparatesConfigs(t *testing.T) {
+	p, err := testutil.Compile(randprog.Generate(7, randprog.DefaultConfig()), lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keysAt := func(k int) map[string]bool {
+		rec := &recordingMemo{MapMemo: rap.NewMapMemo()}
+		for _, f := range p.Funcs {
+			if _, err := rap.AllocateWithStats(f.Clone(), k, rap.Options{Memo: rec}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := map[string]bool{}
+		for _, key := range rec.keys {
+			out[key] = true
+		}
+		return out
+	}
+	k5, k7 := keysAt(5), keysAt(7)
+	if len(k5) == 0 || len(k7) == 0 {
+		t.Fatalf("no artifacts recorded (k5=%d k7=%d)", len(k5), len(k7))
+	}
+	for key := range k5 {
+		if k7[key] {
+			t.Fatalf("key %s recorded under both k=5 and k=7", key)
+		}
+	}
+	if s := rap.MemoSalt(5, rap.Options{}); s == rap.MemoSalt(5, rap.Options{Coalesce: true}) {
+		t.Fatalf("salt does not separate coalescing: %q", s)
+	}
+	if s := rap.MemoSalt(5, rap.Options{}); s != rap.MemoSalt(5, rap.Options{MaxIterations: 100}) {
+		t.Fatal("salt distinguishes MaxIterations 0 from its normalized value 100")
+	}
+}
+
+// recordingMemo wraps a MapMemo, remembering every key recorded through
+// it, so a test can corrupt exactly the artifacts a run produced.
+type recordingMemo struct {
+	*rap.MapMemo
+	keys []string
+}
+
+func (r *recordingMemo) Put(key string, val []byte) error {
+	r.keys = append(r.keys, key)
+	return r.MapMemo.Put(key, val)
+}
+
+// readOnlyMemo drops writes, so its contents stay exactly what the test
+// seeded.
+type readOnlyMemo struct{ *rap.MapMemo }
+
+func (r *readOnlyMemo) Put(string, []byte) error { return nil }
+
+// TestMemoCorruptArtifactIsMiss: a decode failure must degrade to a miss,
+// never to a wrong allocation.
+func TestMemoCorruptArtifactIsMiss(t *testing.T) {
+	p, err := testutil.Compile(randprog.Generate(3, randprog.DefaultConfig()), lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Funcs[0]
+	rec := &recordingMemo{MapMemo: rap.NewMapMemo()}
+	clean := f.Clone()
+	st, err := rap.AllocateWithStats(clean, 5, rap.Options{Memo: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemoStores == 0 {
+		t.Skip("function recorded no summaries (all regions spilled)")
+	}
+	// Replace every recorded artifact with garbage and refuse new writes,
+	// so any hit could only have served a corrupt artifact: every lookup
+	// must be a miss and the allocation must still match.
+	garbage := &readOnlyMemo{MapMemo: rap.NewMapMemo()}
+	for _, key := range rec.keys {
+		if err := garbage.MapMemo.Put(key, []byte{0xff, 0x01, 0x02}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := f.Clone()
+	st2, err := rap.AllocateWithStats(got, 5, rap.Options{Memo: garbage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.MemoHits != 0 {
+		t.Fatalf("corrupt artifacts produced %d hits", st2.MemoHits)
+	}
+	if clean.String() != got.String() {
+		t.Fatal("allocation with corrupt memo differs from clean allocation")
+	}
+}
+
+// TestMemoizedResultsVerify: allocations served from a warm memo still
+// pass the independent allocation verifier against a fresh reference
+// compile.
+func TestMemoizedResultsVerify(t *testing.T) {
+	memo := rap.NewMapMemo()
+	cfg := randprog.Config{MaxFuncs: 2, MaxStmtsPerBlock: 5, MaxDepth: 3, Floats: true}
+	for seed := int64(0); seed < 20; seed++ {
+		src := randprog.Generate(seed, cfg)
+		for pass := 0; pass < 2; pass++ {
+			ref, err := testutil.Compile(src, lower.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			alloc := ref.Clone()
+			for _, f := range alloc.Funcs {
+				if err := rap.Allocate(f, 5, rap.Options{Memo: memo}); err != nil {
+					t.Fatalf("seed %d pass %d %s: %v", seed, pass, f.Name, err)
+				}
+			}
+			if err := verify.Program(ref, alloc, 5, verify.Options{}); err != nil {
+				t.Fatalf("seed %d pass %d: memoized allocation failed verification: %v", seed, pass, err)
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ package rap
 import (
 	"fmt"
 
+	"repro/internal/canon"
 	"repro/internal/cfg"
 	"repro/internal/dataflow"
 	"repro/internal/ig"
@@ -60,6 +61,13 @@ type Options struct {
 	// in the commands (rapcc/rapbench/rapserved), which decide the sink
 	// and pass it down here.
 	Trace *obs.Tracer
+	// Memo, when non-nil, memoizes region allocations: before allocating
+	// a region subtree the allocator looks up the subtree's structural
+	// fingerprint (internal/canon) and on a hit reuses the recorded
+	// summary graph instead of recursing. Only spill-free subtrees are
+	// recorded, and all memoization stops at the function's first spill
+	// edit, so memoized allocations are byte-identical to cold ones.
+	Memo Memo
 }
 
 // Stats reports what each phase of a RAP allocation did.
@@ -83,6 +91,12 @@ type Stats struct {
 	// CopiesRemoved counts i2i r=>r instructions deleted after the
 	// rewrite to physical registers.
 	CopiesRemoved int
+	// MemoHits/MemoMisses/MemoStores report region-memo traffic (zero
+	// unless Options.Memo): subtrees served from a recorded summary,
+	// lookups that found nothing, and summaries recorded.
+	MemoHits   int
+	MemoMisses int
+	MemoStores int
 }
 
 // Allocate rewrites f to use at most k physical registers by hierarchical
@@ -115,6 +129,7 @@ func AllocateWithStats(f *ir.Function, k int, opts Options) (Stats, error) {
 	if err := a.reanalyze(); err != nil {
 		return Stats{}, err
 	}
+	a.initMemo()
 	// Phase 1: bottom-up allocation. The entry region's colouring is the
 	// physical register assignment.
 	sp1 := opts.Trace.StartSpan("rap.color")
@@ -176,6 +191,9 @@ func (a *allocator) recordStats() {
 	m.Add("rap.peephole.loads_to_copies", int64(a.stats.Peephole.LoadsToCopies))
 	m.Add("rap.peephole.stores_deleted", int64(a.stats.Peephole.StoresDeleted))
 	m.Add("rap.copies_removed", int64(a.stats.CopiesRemoved))
+	m.Add("rap.memo.hits", int64(a.stats.MemoHits))
+	m.Add("rap.memo.misses", int64(a.stats.MemoMisses))
+	m.Add("rap.memo.stores", int64(a.stats.MemoStores))
 	m.Add("rap.funcs_allocated", 1)
 }
 
@@ -199,6 +217,13 @@ type allocator struct {
 	du        *dataflow.DefUse
 	spans     []ir.Span
 	totalRefs map[ir.Reg]int
+
+	// Region-memo state (nil unless Options.Memo and still pristine).
+	// hasher fingerprints subtrees against the initial analysis; it is
+	// dropped by memoDisable at the first spill edit. memoKeys caches the
+	// key computed by memoLookup so memoRecord reuses it.
+	hasher   *canon.Hasher
+	memoKeys map[int]canon.RegionKey
 
 	stats Stats
 }
@@ -231,6 +256,10 @@ func (a *allocator) reanalyze() error {
 // allocateRegion runs the Fig. 2 procedure on region V after recursively
 // allocating its subregions.
 func (a *allocator) allocateRegion(V *ir.Region) error {
+	if g, ok := a.memoLookup(V); ok {
+		a.graphs[V.ID] = g
+		return nil
+	}
 	for _, c := range V.Children {
 		if err := a.allocateRegion(c); err != nil {
 			return err
@@ -248,7 +277,9 @@ func (a *allocator) allocateRegion(V *ir.Region) error {
 			if isEntry {
 				a.graphs[V.ID] = gv
 			} else {
-				a.graphs[V.ID] = gv.Combine()
+				sum := gv.Combine()
+				a.graphs[V.ID] = sum
+				a.memoRecord(V, sum)
 			}
 			return nil
 		}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/regalloc/rap"
 	"repro/internal/verify"
 )
 
@@ -29,6 +30,10 @@ type ExecOptions struct {
 	// sequential; the service keeps compare jobs sequential and
 	// parallelizes across jobs instead).
 	Parallel int
+	// Memo, when non-nil, lets RAP reuse memoized region summaries
+	// (rap.Options.Memo) — in the daemon, a persistent store view shared
+	// across jobs and restarts.
+	Memo rap.Memo
 }
 
 // Outcome is the in-process result of ExecuteJob — the compiled program
@@ -64,6 +69,7 @@ func ExecuteJob(ctx context.Context, job Job, opts ExecOptions) (*Outcome, error
 		ccfg := job.compareConfig()
 		ccfg.Trace = opts.Tracer
 		ccfg.Parallel = opts.Parallel
+		ccfg.RAP.Memo = opts.Memo
 		ms, err := core.CompareContext(ctx, job.Source, job.ksOrDefault(), ccfg)
 		if err != nil {
 			return nil, err
@@ -76,6 +82,7 @@ func ExecuteJob(ctx context.Context, job Job, opts ExecOptions) (*Outcome, error
 func executeAlloc(ctx context.Context, job Job, opts ExecOptions) (*Outcome, error) {
 	cfg := job.coreConfig()
 	cfg.Trace = opts.Tracer
+	cfg.RAP.Memo = opts.Memo
 	p, err := core.Compile(job.Source, cfg)
 	if err != nil {
 		return nil, err

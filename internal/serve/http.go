@@ -202,10 +202,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the obs metrics snapshot (schema rap/metrics/v1):
-// the serve.* counters plus every pipeline counter the jobs' forked
-// tracers merged back.
+// the serve.* counters, every pipeline counter the jobs' forked tracers
+// merged back (rap.*, interp.*, …), the persistent store's traffic
+// (store.*) when one is attached, and — under "lastjob." — the full
+// allocator metrics snapshot of the most recently executed job.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	s.runner.Metrics().Snapshot().WriteJSON(w)
+	snap := s.runner.Metrics().Snapshot()
+	snap = snap.Overlay("lastjob.", s.runner.LastJobSnapshot())
+	snap.WriteJSON(w)
 }

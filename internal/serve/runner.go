@@ -2,15 +2,19 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fuzz"
 	"repro/internal/obs"
+	"repro/internal/regalloc/rap"
+	"repro/internal/store"
 )
 
 // ErrQueueFull reports that the runner's bounded queue cannot take the
@@ -43,6 +47,13 @@ type RunnerConfig struct {
 	// also receives the serve.* counters. When nil a private registry is
 	// created so /metrics always has content.
 	Tracer *obs.Tracer
+	// Store, when non-nil, persistently backs the runner: completed
+	// results write through to it under "result/" keys (and reload on the
+	// next boot — the warm start), and RAP allocations record region
+	// summaries under "memo/" keys for incremental reuse across jobs and
+	// restarts. The runner does not own the store; the caller closes it
+	// after Drain.
+	Store *store.Store
 }
 
 func (cfg *RunnerConfig) fill() {
@@ -78,6 +89,12 @@ type Runner struct {
 	cfg     RunnerConfig
 	metrics *obs.Metrics
 	cache   *cache
+	// memo is the persistent region-memo view handed to every RAP
+	// allocation (nil without a store).
+	memo rap.Memo
+	// lastJob holds the pipeline metrics snapshot of the most recently
+	// executed (non-cached) job, exposed by /metrics under "lastjob.".
+	lastJob atomic.Pointer[obs.Snapshot]
 	queue   chan *Task
 	// pending counts accepted-but-unfinished tasks; it enforces the
 	// queue bound atomically across multi-job batches.
@@ -100,6 +117,11 @@ func NewRunner(cfg RunnerConfig) *Runner {
 		queue:   make(chan *Task, cfg.QueueDepth+cfg.Workers),
 	}
 	r.cache = newCache(cfg.CacheSize, r.metrics)
+	if cfg.Store != nil {
+		r.cache.disk = store.Prefixed(cfg.Store, resultPrefix)
+		r.memo = store.Prefixed(cfg.Store, memoPrefix)
+		r.warmStart(cfg.Store)
+	}
 	r.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go r.worker()
@@ -107,8 +129,41 @@ func NewRunner(cfg RunnerConfig) *Runner {
 	return r
 }
 
+// Key namespaces within the backing store.
+const (
+	resultPrefix = "result/"
+	memoPrefix   = "memo/"
+)
+
+// warmStart reloads persisted results into the in-memory cache, oldest
+// access first so the hottest entries end up most recently used. The LRU
+// bound applies as usual; with more persisted results than capacity the
+// freshest survive.
+func (r *Runner) warmStart(s *store.Store) {
+	n := 0
+	_ = s.ForEach(func(key string, val []byte) bool {
+		if !strings.HasPrefix(key, resultPrefix) {
+			return true
+		}
+		var res Result
+		if err := json.Unmarshal(val, &res); err != nil || res.Status != StatusOK {
+			return true
+		}
+		r.cache.putMem(strings.TrimPrefix(key, resultPrefix), res)
+		n++
+		return true
+	})
+	if n > 0 {
+		r.metrics.Add("serve.cache.warm_loaded", int64(n))
+	}
+}
+
 // Metrics returns the registry the runner reports into.
 func (r *Runner) Metrics() *obs.Metrics { return r.metrics }
+
+// LastJobSnapshot returns the pipeline metrics snapshot of the most
+// recently executed (non-cached) job, or nil before the first one.
+func (r *Runner) LastJobSnapshot() *obs.Snapshot { return r.lastJob.Load() }
 
 // Workers returns the pool width.
 func (r *Runner) Workers() int { return r.cfg.Workers }
@@ -270,9 +325,13 @@ func (r *Runner) execute(ctx context.Context, job Job) Result {
 	var outcome *Outcome
 	err := fuzz.RunIsolated(ctx, timeout, func(cctx context.Context) error {
 		var uerr error
-		outcome, uerr = ExecuteJob(cctx, job, ExecOptions{Tracer: tr})
+		outcome, uerr = ExecuteJob(cctx, job, ExecOptions{Tracer: tr, Memo: r.memo})
 		return uerr
 	})
+	if m := tr.Metrics(); m != nil {
+		snap := m.Snapshot()
+		r.lastJob.Store(&snap)
+	}
 	r.cfg.Tracer.Join(tr)
 	if err != nil {
 		status := Classify(err)
