@@ -38,7 +38,7 @@ func main() {
 		merge      = flag.Bool("merge-stmts", false, "merge per-statement regions")
 		allocFlag  = flag.String("alloc", "none", "allocate registers first: none, gra, rap, or naive")
 		k          = flag.Int("k", 5, "number of physical registers for -alloc")
-		metricsOut = flag.String("metrics", "", "write front-end/PDG-build timings (schema rap/metrics/v1) as JSON to this file")
+		metricsOut = flag.String("metrics", "", "write front-end/PDG-build timings (schema rap/metrics/v2) as JSON to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {

@@ -25,6 +25,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -105,15 +106,17 @@ func main() {
 		runStoreBench(ctx, *storeDir, progs, ks, cfg, *jsonOut, names)
 		return
 	}
-	var metrics *obs.Metrics
-	if *jsonOut != "" {
-		metrics = obs.NewMetrics()
-	}
+	// A metrics registry is always attached now: the phase-latency table
+	// below needs the duration histograms even when no -json record is
+	// requested. WithMetrics composes with the RAP_DEBUG text tracer.
+	metrics := obs.NewMetrics()
+	cfg.Trace = cfg.Trace.WithMetrics(metrics)
 	rows, err := bench.MeasureTimedContext(ctx, progs, ks, cfg, metrics, names...)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(bench.Format(rows, ks))
+	printPhaseLatencies(metrics.Snapshot())
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)
 		if err != nil {
@@ -174,6 +177,27 @@ func runAblation(ctx context.Context, ks []int, names []string, parallel int, ve
 		}
 		fmt.Printf(" %8.1f\n", bench.OverallAverage(sums))
 	}
+}
+
+// printPhaseLatencies renders the wall-clock distribution of every
+// timed phase — compiler spans and allocator inner phases — after
+// Table 1. Quantiles come from the rap/metrics/v2 duration histograms.
+func printPhaseLatencies(snap obs.Snapshot) {
+	lats := bench.PhaseLatencies(snap)
+	if len(lats) == 0 {
+		return
+	}
+	fmt.Printf("\nphase latencies (wall clock)\n")
+	fmt.Printf("%-28s %8s %12s %12s %12s\n", "phase", "count", "p50", "p90", "p99")
+	for _, l := range lats {
+		fmt.Printf("%-28s %8d %12s %12s %12s\n",
+			l.Phase, l.Count, fmtNS(l.P50NS), fmtNS(l.P90NS), fmtNS(l.P99NS))
+	}
+}
+
+// fmtNS renders a nanosecond quantile compactly for the table.
+func fmtNS(ns int64) string {
+	return time.Duration(ns).Round(100 * time.Nanosecond).String()
 }
 
 // debugTracer honors the RAP_DEBUG env shim: text events on stderr. The

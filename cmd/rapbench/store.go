@@ -29,6 +29,10 @@ type storePass struct {
 	StoreHits   int64  `json:"store_hits"`
 	StoreMisses int64  `json:"store_misses"`
 	StoreWrites int64  `json:"store_writes"`
+	// StoreGC and StoreCorrupt complete the store's traffic economics:
+	// log-compaction rewrites and entries dropped by checksum at reload.
+	StoreGC      int64 `json:"store_gc"`
+	StoreCorrupt int64 `json:"store_corrupt,omitempty"`
 }
 
 // storeReport is the full -store -json document: the cold/warm pass
@@ -87,16 +91,18 @@ func runStoreBench(ctx context.Context, dir string, progs []bench.Program, ks []
 		snap := m.Snapshot()
 		c := snap.Counters
 		return rows, storePass{
-			Label:       label,
-			WallMS:      wall.Milliseconds(),
-			RAPAllocUS:  snap.TimingsNS["alloc.rap"] / 1e3,
-			GRAAllocUS:  snap.TimingsNS["alloc.gra"] / 1e3,
-			MemoHits:    c["rap.memo.hits"],
-			MemoMisses:  c["rap.memo.misses"],
-			MemoStores:  c["rap.memo.stores"],
-			StoreHits:   c["store.hit"],
-			StoreMisses: c["store.miss"],
-			StoreWrites: c["store.write"],
+			Label:        label,
+			WallMS:       wall.Milliseconds(),
+			RAPAllocUS:   snap.TimingsNS["alloc.rap"] / 1e3,
+			GRAAllocUS:   snap.TimingsNS["alloc.gra"] / 1e3,
+			MemoHits:     c["rap.memo.hits"],
+			MemoMisses:   c["rap.memo.misses"],
+			MemoStores:   c["rap.memo.stores"],
+			StoreHits:    c["store.hit"],
+			StoreMisses:  c["store.miss"],
+			StoreWrites:  c["store.write"],
+			StoreGC:      c["store.gc"],
+			StoreCorrupt: c["store.corrupt"],
 		}
 	}
 
@@ -111,8 +117,8 @@ func runStoreBench(ctx context.Context, dir string, progs []bench.Program, ks []
 	fmt.Print(warmText)
 	fmt.Printf("\npersistent store: %s (%d artifacts, %d bytes)\n", path, artifacts, bytes)
 	for _, p := range []storePass{cold, warm} {
-		fmt.Printf("%-5s %6d ms wall, %6d us in RAP alloc   memo %d hits / %d misses / %d stores   store %d hits / %d writes\n",
-			p.Label, p.WallMS, p.RAPAllocUS, p.MemoHits, p.MemoMisses, p.MemoStores, p.StoreHits, p.StoreWrites)
+		fmt.Printf("%-5s %6d ms wall, %6d us in RAP alloc   memo %d hits / %d misses / %d stores   store %d hits / %d writes / %d gc\n",
+			p.Label, p.WallMS, p.RAPAllocUS, p.MemoHits, p.MemoMisses, p.MemoStores, p.StoreHits, p.StoreWrites, p.StoreGC)
 	}
 	fmt.Println("Table 1 identical across passes: true")
 

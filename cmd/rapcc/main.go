@@ -56,7 +56,7 @@ func main() {
 		remat      = flag.Bool("remat", false, "enable constant rematerialization (extension)")
 		trace      = flag.Bool("trace", false, "print every executed instruction to stderr (func, pc, cycle, instruction)")
 		traceOut   = flag.String("trace-out", "", "write allocation/pipeline events as JSON lines to this file")
-		metricsOut = flag.String("metrics", "", "write the pipeline metrics snapshot (schema rap/metrics/v1) as JSON to this file")
+		metricsOut = flag.String("metrics", "", "write the pipeline metrics snapshot (schema rap/metrics/v2) as JSON to this file")
 		explain    = flag.String("explain", "", "print the named virtual register's allocation history (e.g. r7) and exit")
 		fingerFlag = flag.Bool("fingerprint", false, "print each function's canonical hash and per-region subtree hashes (the incremental memo's cache keys) and exit")
 	)

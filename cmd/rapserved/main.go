@@ -14,11 +14,18 @@
 //
 //	POST /v1/batch   {"jobs":[{...}]} -> per-job results, 429+Retry-After on a full queue
 //	POST /v1/jobs    one job -> one result (400/504/500 mirror the job status)
-//	GET  /healthz    liveness + pool shape
-//	GET  /metrics    rap/metrics/v1 snapshot (serve.* counters + pipeline counters)
+//	GET  /healthz    liveness JSON: state (ok|draining), in-flight, uptime
+//	GET  /metrics    rap/metrics/v2 snapshot (counters, gauges, latency histograms);
+//	                 ?format=prom renders Prometheus text exposition
+//
+// Jobs carry stable trace IDs: the X-Rap-Trace-Id request header seeds
+// IDs for jobs that do not name their own, and every result, trace
+// event and slow-job log line echoes the ID back.
 //
 // Setting RAP_DEBUG installs a text event sink on stderr — the env var is
 // interpreted here, in the command, never inside the library packages.
+// -pprof-addr starts an opt-in net/http/pprof server on a separate
+// listener so profiling never shares a port with the job API.
 package main
 
 import (
@@ -27,6 +34,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux used only by -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -51,6 +60,8 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write allocation/pipeline events as JSON lines to this file")
 		storeDir   = flag.String("store-dir", "", "persist results and region summaries in this directory (warm-started on boot)")
 		storeMax   = flag.Int64("store-max-bytes", 0, "size bound for the persistent store before GC by access time (0 = 64 MiB)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		slowJob    = flag.Duration("slow-job", 0, "log a structured line to stderr for any job slower than this (0 = disabled)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -97,14 +108,28 @@ func main() {
 		log.Printf("rapserved: store %s (%d artifacts, %d bytes)", st.Path(), st.Len(), st.SizeBytes())
 	}
 
+	// The pprof listener is separate from the API listener on purpose: a
+	// scrape-all prometheus config or a load balancer health check must
+	// never be able to trigger a heap dump.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("rapserved: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("rapserved: pprof: %v", err)
+			}
+		}()
+	}
+
 	runner := serve.NewRunner(serve.RunnerConfig{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cacheSize,
-		JobTimeout: *jobTimeout,
-		MaxCycles:  *maxCycles,
-		Tracer:     tracer,
-		Store:      st,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cacheSize,
+		JobTimeout:       *jobTimeout,
+		MaxCycles:        *maxCycles,
+		Tracer:           tracer,
+		Store:            st,
+		SlowJobThreshold: *slowJob,
+		SlowJobLog:       os.Stderr,
 	})
 
 	if *batch {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -44,6 +45,32 @@ type JSONSummary struct {
 	Rows      int     `json:"rows"`
 }
 
+// PhaseLatency is one phase's wall-clock distribution, derived from
+// the metrics snapshot's duration histograms. Quantiles are rounded
+// int64 nanoseconds so CI assertions can grep them without float
+// formatting surprises.
+type PhaseLatency struct {
+	Phase string `json:"phase"`
+	Count int64  `json:"count"`
+	P50NS int64  `json:"p50_ns"`
+	P90NS int64  `json:"p90_ns"`
+	P99NS int64  `json:"p99_ns"`
+}
+
+// PhaseLatencies extracts the per-phase latency table from a snapshot,
+// sorted by phase name.
+func PhaseLatencies(s obs.Snapshot) []PhaseLatency {
+	out := make([]PhaseLatency, 0, len(s.TimeHistsNS))
+	for phase, h := range s.TimeHistsNS {
+		out = append(out, PhaseLatency{
+			Phase: phase, Count: h.Count,
+			P50NS: h.P50(), P90NS: h.P90(), P99NS: h.P99(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
+}
+
 // JSONReport is the full rapbench -json document — the machine-readable
 // Table 1 a CI trajectory (BENCH_*.json) records.
 type JSONReport struct {
@@ -53,6 +80,10 @@ type JSONReport struct {
 	Summary []JSONSummary `json:"summary"`
 	// OverallAvgPct is the paper's headline number (it reports 2.7).
 	OverallAvgPct float64 `json:"overall_avg_pct"`
+	// PhaseLatencies are the p50/p90/p99 wall-clock distributions of
+	// every timed phase (compiler spans, allocator inner phases), from
+	// the snapshot's time_hists_ns section.
+	PhaseLatencies []PhaseLatency `json:"phase_latencies,omitempty"`
 	// Metrics is the run's metrics snapshot: pipeline counters plus the
 	// "bench.<program>.k<k>" wall-clock timings.
 	Metrics obs.Snapshot `json:"metrics"`
@@ -62,6 +93,7 @@ type JSONReport struct {
 // (yields an empty metrics snapshot).
 func Report(rows []Row, ks []int, m *obs.Metrics) JSONReport {
 	rep := JSONReport{Schema: JSONSchema, Ks: ks, Metrics: m.Snapshot()}
+	rep.PhaseLatencies = PhaseLatencies(rep.Metrics)
 	for _, r := range rows {
 		for _, k := range ks {
 			mm, ok := r.ByK[k]

@@ -6,6 +6,7 @@ package bench_test
 // sequential run.
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -59,6 +60,44 @@ func TestMeasureTimedParallelMetricsIdentical(t *testing.T) {
 			}
 		}
 		t.Fatal("parallel metrics counters differ from sequential")
+	}
+}
+
+// TestMetricsV2SnapshotByteIdenticalAcrossWorkers is the rap/metrics/v2
+// determinism proof: for worker counts 1, 4 and 8 the deterministic
+// snapshot — counters, gauges AND value histograms — serializes to
+// byte-identical JSON. Only the wall-clock sections (timings_ns,
+// time_hists_ns) may differ across runs.
+func TestMetricsV2SnapshotByteIdenticalAcrossWorkers(t *testing.T) {
+	progs, ks, only := subset()
+	render := func(parallel int) []byte {
+		m := obs.NewMetrics()
+		if _, err := bench.MeasureTimed(progs, ks, core.CompareConfig{Parallel: parallel}, m, only...); err != nil {
+			t.Fatal(err)
+		}
+		snap := m.Snapshot()
+		if snap.Schema != obs.SnapshotSchema {
+			t.Fatalf("schema = %q", snap.Schema)
+		}
+		if len(snap.Hists) == 0 {
+			t.Fatal("no value histograms recorded — the determinism check would be vacuous")
+		}
+		for name, h := range snap.Hists {
+			if !h.Check() {
+				t.Fatalf("hist %s fails Check: %+v", name, h)
+			}
+		}
+		var buf bytes.Buffer
+		if err := snap.Deterministic().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := render(1)
+	for _, n := range []int{4, 8} {
+		if got := render(n); !bytes.Equal(base, got) {
+			t.Fatalf("deterministic snapshot with %d workers differs from sequential:\n--- seq ---\n%s\n--- par(%d) ---\n%s", n, base, n, got)
+		}
 	}
 }
 

@@ -162,6 +162,11 @@ func (r *Result) publish(reg *obs.Metrics) {
 	}
 	for name, st := range r.PerFunc {
 		record("interp.func."+name, st)
+		// One histogram sample per measured function: the distribution
+		// of simulated cycle counts across a batch of runs. Cycle counts
+		// are deterministic for a deterministic program, so this stays in
+		// the snapshot's deterministic sections.
+		reg.ObserveVal("interp.func.cycles", st.Cycles)
 	}
 	record("interp.total", &r.Total)
 }

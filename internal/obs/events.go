@@ -139,6 +139,41 @@ func (e *RegionMemoReused) text() string {
 		e.Func, e.Region, e.Nodes, e.Key)
 }
 
+// Tagged wraps an event with the trace ID of the job that produced it
+// (see Tracer.WithTag). It is transparent on the wire: Kind delegates
+// to the inner event and the JSON form is the inner event's object
+// with a leading "trace_id" field, so Decode of a tagged line yields
+// the inner typed event (the tag is a join key for log consumers, not
+// part of the event's identity).
+type Tagged struct {
+	TraceID string
+	Event   Event
+}
+
+// Kind reports the inner event's kind.
+func (e *Tagged) Kind() string { return e.Event.Kind() }
+
+func (e *Tagged) text() string { return "[" + e.TraceID + "] " + e.Event.text() }
+
+// MarshalJSON splices the trace ID into the inner event's object as
+// its first field.
+func (e *Tagged) MarshalJSON() ([]byte, error) {
+	body, err := json.Marshal(e.Event)
+	if err != nil {
+		return nil, err
+	}
+	id, err := json.Marshal(e.TraceID)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(`{"trace_id":`), id...)
+	if len(body) <= 2 { // "{}"
+		return append(out, '}'), nil
+	}
+	out = append(out, ',')
+	return append(out, body[1:]...), nil
+}
+
 // newEvent returns a zero event of the given kind, or nil.
 func newEvent(kind string) Event {
 	switch kind {

@@ -11,26 +11,40 @@ import (
 
 // SnapshotSchema names the JSON schema Snapshot serializes to. Bump it
 // when a field changes meaning; additions are backward compatible.
-const SnapshotSchema = "rap/metrics/v1"
+// v2 added gauges, value histograms ("hists") and wall-clock duration
+// histograms ("time_hists_ns") alongside the v1 counters/timings.
+const SnapshotSchema = "rap/metrics/v2"
 
-// Metrics is a registry of monotonic counters and cumulative phase
-// timings. The zero value is not usable; use NewMetrics. All methods
-// are safe for concurrent use and nil-safe, so call sites can thread an
-// optional registry without guards.
+// Metrics is a registry of monotonic counters, cumulative phase
+// timings, gauges and histograms. The zero value is not usable; use
+// NewMetrics. All methods are safe for concurrent use and nil-safe, so
+// call sites can thread an optional registry without guards.
 //
 // Naming convention: dot-separated paths, coarse to fine —
 // "rap.spill_rounds", "interp.func.main.cycles", "event.NodeSpilled".
+//
+// Determinism contract: counters, gauges and value histograms (Hists)
+// depend only on the work performed, so equal work yields byte-equal
+// snapshots of those sections. Timings and duration histograms
+// (TimeHistsNS) are wall clock and vary run to run; Deterministic()
+// strips them for byte-compare consumers.
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]int64
-	timings  map[string]time.Duration
+	mu        sync.Mutex
+	counters  map[string]int64
+	timings   map[string]time.Duration
+	gauges    map[string]int64
+	hists     map[string]*Histogram
+	timeHists map[string]*Histogram
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		counters: map[string]int64{},
-		timings:  map[string]time.Duration{},
+		counters:  map[string]int64{},
+		timings:   map[string]time.Duration{},
+		gauges:    map[string]int64{},
+		hists:     map[string]*Histogram{},
+		timeHists: map[string]*Histogram{},
 	}
 }
 
@@ -54,11 +68,75 @@ func (m *Metrics) Observe(phase string, d time.Duration) {
 	m.mu.Unlock()
 }
 
-// Merge adds every counter and timing of other into m — the join half of
-// the per-worker-registry pattern the parallel harness uses (each worker
+// SetGauge sets gauge name to v, a point-in-time level (queue depth,
+// in-flight jobs, worker count). Merge keeps the maximum across
+// registries, which is associative and commutative, so gauges survive
+// the Fork/Join path as high-water marks.
+func (m *Metrics) SetGauge(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// AddGauge adjusts gauge name by delta (negative deltas allowed) and
+// returns the new level.
+func (m *Metrics) AddGauge(name string, delta int64) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	m.gauges[name] += delta
+	v := m.gauges[name]
+	m.mu.Unlock()
+	return v
+}
+
+// ObserveVal records one sample into the value histogram for name.
+// Value histograms count work (iterations, node counts, cycles) and
+// are part of the deterministic sections.
+func (m *Metrics) ObserveVal(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	h.Observe(v)
+	m.mu.Unlock()
+}
+
+// ObserveDur records one wall-clock duration sample (in nanoseconds)
+// into the duration histogram for phase AND accumulates it into the
+// cumulative timing — one call feeds both the v1 total and the v2
+// distribution.
+func (m *Metrics) ObserveDur(phase string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.timings[phase] += d
+	h := m.timeHists[phase]
+	if h == nil {
+		h = &Histogram{}
+		m.timeHists[phase] = h
+	}
+	h.Observe(d.Nanoseconds())
+	m.mu.Unlock()
+}
+
+// Merge folds every section of other into m — the join half of the
+// per-worker-registry pattern the parallel harness uses (each worker
 // accumulates into a private registry, merged back in deterministic
-// order at the join). Because counters are monotonic sums, the merged
-// registry is identical to one the same work had written sequentially.
+// order at the join). Counters, timings and histogram buckets add;
+// gauges keep the maximum. Every per-section operation is associative
+// and commutative, so the merged registry is identical to one the same
+// work had written sequentially.
 func (m *Metrics) Merge(other *Metrics) {
 	if m == nil || other == nil || m == other {
 		return
@@ -72,16 +150,41 @@ func (m *Metrics) Merge(other *Metrics) {
 	for k, v := range s.TimingsNS {
 		m.timings[k] += time.Duration(v)
 	}
+	for k, v := range s.Gauges {
+		if cur, ok := m.gauges[k]; !ok || v > cur {
+			m.gauges[k] = v
+		}
+	}
+	for k, hs := range s.Hists {
+		h := m.hists[k]
+		if h == nil {
+			h = &Histogram{}
+			m.hists[k] = h
+		}
+		h.merge(hs)
+	}
+	for k, hs := range s.TimeHistsNS {
+		h := m.timeHists[k]
+		if h == nil {
+			h = &Histogram{}
+			m.timeHists[k] = h
+		}
+		h.merge(hs)
+	}
 }
 
 // Snapshot is a point-in-time copy of the registry in its stable JSON
-// form. Counters are deterministic for a deterministic compilation;
-// timings are wall-clock and vary run to run, which is why they live in
-// a separate field consumers can ignore (and tests do).
+// form. Counters, gauges and value histograms are deterministic for a
+// deterministic compilation; timings and duration histograms are wall
+// clock and vary run to run, which is why they live in fields
+// consumers can ignore (and tests do — see Deterministic).
 type Snapshot struct {
-	Schema    string           `json:"schema"`
-	Counters  map[string]int64 `json:"counters"`
-	TimingsNS map[string]int64 `json:"timings_ns,omitempty"`
+	Schema      string                  `json:"schema"`
+	Counters    map[string]int64        `json:"counters"`
+	Gauges      map[string]int64        `json:"gauges,omitempty"`
+	Hists       map[string]HistSnapshot `json:"hists,omitempty"`
+	TimingsNS   map[string]int64        `json:"timings_ns,omitempty"`
+	TimeHistsNS map[string]HistSnapshot `json:"time_hists_ns,omitempty"`
 }
 
 // Snapshot copies the registry. A nil registry yields an empty (but
@@ -96,19 +199,47 @@ func (m *Metrics) Snapshot() Snapshot {
 	for k, v := range m.counters {
 		s.Counters[k] = v
 	}
+	if len(m.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(m.gauges))
+		for k, v := range m.gauges {
+			s.Gauges[k] = v
+		}
+	}
+	if len(m.hists) > 0 {
+		s.Hists = make(map[string]HistSnapshot, len(m.hists))
+		for k, h := range m.hists {
+			s.Hists[k] = h.snapshot()
+		}
+	}
 	if len(m.timings) > 0 {
 		s.TimingsNS = make(map[string]int64, len(m.timings))
 		for k, v := range m.timings {
 			s.TimingsNS[k] = v.Nanoseconds()
 		}
 	}
+	if len(m.timeHists) > 0 {
+		s.TimeHistsNS = make(map[string]HistSnapshot, len(m.timeHists))
+		for k, h := range m.timeHists {
+			s.TimeHistsNS[k] = h.snapshot()
+		}
+	}
 	return s
 }
 
-// Overlay copies every counter and timing of other into s under the
-// given key prefix — how a scrape composes a secondary snapshot (e.g.
-// the last executed job's pipeline metrics) into a primary one without
-// the two key spaces colliding.
+// Deterministic returns a copy of the snapshot with the wall-clock
+// sections (TimingsNS, TimeHistsNS) stripped: the part of the schema
+// that must be byte-identical across reruns and worker counts for the
+// same work. The bench parallel-determinism tests compare exactly this.
+func (s Snapshot) Deterministic() Snapshot {
+	s.TimingsNS = nil
+	s.TimeHistsNS = nil
+	return s
+}
+
+// Overlay copies every section of other into s under the given key
+// prefix — how a scrape composes a secondary snapshot (e.g. the last
+// executed job's pipeline metrics) into a primary one without the two
+// key spaces colliding.
 func (s Snapshot) Overlay(prefix string, other *Snapshot) Snapshot {
 	if other == nil {
 		return s
@@ -116,11 +247,29 @@ func (s Snapshot) Overlay(prefix string, other *Snapshot) Snapshot {
 	for k, v := range other.Counters {
 		s.Counters[prefix+k] = v
 	}
+	if len(other.Gauges) > 0 && s.Gauges == nil {
+		s.Gauges = map[string]int64{}
+	}
+	for k, v := range other.Gauges {
+		s.Gauges[prefix+k] = v
+	}
+	if len(other.Hists) > 0 && s.Hists == nil {
+		s.Hists = map[string]HistSnapshot{}
+	}
+	for k, v := range other.Hists {
+		s.Hists[prefix+k] = v
+	}
 	if len(other.TimingsNS) > 0 && s.TimingsNS == nil {
 		s.TimingsNS = map[string]int64{}
 	}
 	for k, v := range other.TimingsNS {
 		s.TimingsNS[prefix+k] = v
+	}
+	if len(other.TimeHistsNS) > 0 && s.TimeHistsNS == nil {
+		s.TimeHistsNS = map[string]HistSnapshot{}
+	}
+	for k, v := range other.TimeHistsNS {
+		s.TimeHistsNS[prefix+k] = v
 	}
 	return s
 }

@@ -38,6 +38,7 @@ type Sink interface {
 type Tracer struct {
 	sinks []Sink
 	m     *Metrics
+	tag   string
 }
 
 // New returns a tracer emitting to the given sinks.
@@ -65,6 +66,27 @@ func (t *Tracer) Metrics() *Metrics {
 	return t.m
 }
 
+// WithTag returns a tracer that stamps every emitted event with the
+// given trace ID (the serve runner tags each job's forked tracer with
+// the job ID, so JSONL trace lines and slow-job logs can be joined on
+// it). Sinks and the metrics registry are shared with t; an empty id
+// returns t unchanged, and a nil tracer stays nil — tagging a no-op
+// tracer is still a no-op.
+func (t *Tracer) WithTag(id string) *Tracer {
+	if t == nil || id == "" || (t.tag == id) {
+		return t
+	}
+	return &Tracer{sinks: t.sinks, m: t.m, tag: id}
+}
+
+// Tag returns the trace ID stamped on emitted events ("" if none).
+func (t *Tracer) Tag() string {
+	if t == nil {
+		return ""
+	}
+	return t.tag
+}
+
 // Fork returns the tracer one worker of a parallel phase should use:
 // the same sinks (they serialize internally), but a private metrics
 // registry so workers do not contend on one mutex and the parent's
@@ -75,7 +97,7 @@ func (t *Tracer) Fork() *Tracer {
 	if t == nil || t.m == nil {
 		return t
 	}
-	return &Tracer{sinks: t.sinks, m: NewMetrics()}
+	return &Tracer{sinks: t.sinks, m: NewMetrics(), tag: t.tag}
 }
 
 // Join merges a Fork'ed worker tracer's metrics back into t. Joining
@@ -95,13 +117,20 @@ func (t *Tracer) Enabled() bool {
 	return t != nil && (len(t.sinks) > 0 || t.m != nil)
 }
 
-// Emit delivers ev to every sink and counts it in the metrics registry.
+// Emit delivers ev to every sink and counts it in the metrics
+// registry. When the tracer carries a trace tag (WithTag), sinks see
+// the event wrapped in Tagged; the metrics counter stays keyed by the
+// inner kind so counts remain comparable across tagged and untagged
+// runs.
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
 		return
 	}
 	if t.m != nil {
 		t.m.Add("event."+ev.Kind(), 1)
+	}
+	if t.tag != "" && len(t.sinks) > 0 {
+		ev = &Tagged{TraceID: t.tag, Event: ev}
 	}
 	for _, s := range t.sinks {
 		s.Emit(ev)
@@ -128,16 +157,36 @@ func (t *Tracer) StartSpan(phase string) *Span {
 	return &Span{t: t, phase: phase, start: time.Now()}
 }
 
-// End completes the span, recording its duration.
+// End completes the span, recording its duration both as a cumulative
+// timing and as one sample in the phase's duration histogram.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	d := time.Since(s.start)
 	if s.t.m != nil {
-		s.t.m.Observe(s.phase, d)
+		s.t.m.ObserveDur(s.phase, d)
 	}
 	s.t.Emit(&SpanEnd{Phase: s.phase, DurNS: d.Nanoseconds()})
+}
+
+// noopStop is the shared no-op returned by StartTimer on a disabled
+// tracer, so the hot path stays allocation-free.
+var noopStop = func() {}
+
+// StartTimer is the metrics-only sibling of StartSpan for hot inner
+// phases: it records the elapsed time into the phase's cumulative
+// timing and duration histogram when the stop func runs, but emits no
+// events, so it is cheap enough for per-region and per-iteration
+// granularity. On a tracer without a registry it returns a shared
+// no-op and allocates nothing.
+func (t *Tracer) StartTimer(phase string) func() {
+	m := t.Metrics()
+	if m == nil {
+		return noopStop
+	}
+	start := time.Now()
+	return func() { m.ObserveDur(phase, time.Since(start)) }
 }
 
 // TextSink renders events as human-readable lines, one per event — the

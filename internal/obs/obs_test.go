@@ -38,6 +38,12 @@ func TestNoopTracerZeroAlloc(t *testing.T) {
 		sp.End()
 		m.Add("rap.spill_rounds", 1)
 		m.Observe("rap.color", time.Millisecond)
+		m.ObserveVal("rap.region.iters", 3)
+		m.ObserveDur("rap.phase.cost", time.Millisecond)
+		m.SetGauge("serve.inflight", 1)
+		stop := tr.StartTimer("rap.phase.build")
+		stop()
+		_ = tr.WithTag("job-1")
 	})
 	if allocs != 0 {
 		t.Fatalf("no-op tracer allocated %.1f times per run, want 0", allocs)

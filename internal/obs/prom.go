@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName sanitizes a dotted metric path into a legal Prometheus
+// metric name: dots and any other illegal runes become underscores,
+// and a leading digit gains an underscore prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func promHist(w io.Writer, name string, h HistSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for b, c := range h.Buckets {
+		cum += c
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bucketUpper(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as *_total, gauges as gauges,
+// cumulative timings as *_ns_total, and both histogram sections as
+// native histograms with log2 bucket boundaries in their unit (plain
+// values for Hists, nanoseconds — suffixed _ns — for TimeHistsNS).
+// Keys are emitted sorted, so equal snapshots render byte-identically.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	for _, k := range sortedKeys(s.Counters) {
+		name := promName(k) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.TimingsNS) {
+		name := promName(k) + "_ns_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, s.TimingsNS[k])
+	}
+	for _, k := range sortedKeys(s.Hists) {
+		promHist(w, promName(k), s.Hists[k])
+	}
+	for _, k := range sortedKeys(s.TimeHistsNS) {
+		promHist(w, promName(k)+"_ns", s.TimeHistsNS[k])
+	}
+	return nil
+}

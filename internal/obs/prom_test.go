@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteProm(t *testing.T) {
+	m := NewMetrics()
+	m.Add("serve.jobs.ok", 7)
+	m.SetGauge("serve.inflight", 2)
+	m.Observe("parse", 1500*time.Nanosecond)
+	m.ObserveVal("rap.region.iters", 1)
+	m.ObserveVal("rap.region.iters", 300)
+	m.ObserveDur("serve.job", 2*time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := m.Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE serve_jobs_ok_total counter\nserve_jobs_ok_total 7\n",
+		"# TYPE serve_inflight gauge\nserve_inflight 2\n",
+		"# TYPE parse_ns_total counter\nparse_ns_total 1500\n",
+		"# TYPE rap_region_iters histogram\n",
+		`rap_region_iters_bucket{le="1"} 1`,
+		`rap_region_iters_bucket{le="511"} 2`,
+		`rap_region_iters_bucket{le="+Inf"} 2`,
+		"rap_region_iters_sum 301\n",
+		"rap_region_iters_count 2\n",
+		"# TYPE serve_job_ns histogram\n",
+		`serve_job_ns_bucket{le="+Inf"} 1`,
+		"serve_job_ns_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// Bucket counts are cumulative: the le="511" line must already
+	// include the le="1" sample.
+	if strings.Contains(out, `rap_region_iters_bucket{le="511"} 1`) {
+		t.Errorf("histogram buckets are not cumulative:\n%s", out)
+	}
+
+	// Every non-comment line is "name[{labels}] value"; names are
+	// [a-zA-Z_:][a-zA-Z0-9_:]*.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("bad exposition line %q", line)
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if strings.ContainsAny(name, ".-/") || name == "" {
+			t.Errorf("unsanitized metric name %q", fields[0])
+		}
+	}
+
+	// Equal snapshots render byte-identically (sorted keys).
+	var again bytes.Buffer
+	m.Snapshot().WriteProm(&again)
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteProm not byte-stable for equal snapshots")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.jobs.ok":   "serve_jobs_ok",
+		"event.SpanEnd":   "event_SpanEnd",
+		"9lives":          "_9lives",
+		"a-b/c d":         "a_b_c_d",
+		"already_fine:ok": "already_fine:ok",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

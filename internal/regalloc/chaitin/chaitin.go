@@ -53,8 +53,10 @@ func Allocate(f *ir.Function, k int, opts Options) error {
 	defer span.End()
 	sp := regalloc.NewSpiller(f)
 	for iter := 0; iter < maxIter; iter++ {
+		stopBuild := opts.Trace.StartTimer("gra.phase.build")
 		g, err := cfg.Build(f)
 		if err != nil {
+			stopBuild()
 			return fmt.Errorf("chaitin: %w", err)
 		}
 		lv := dataflow.ComputeLiveness(g)
@@ -62,6 +64,7 @@ func Allocate(f *ir.Function, k int, opts Options) error {
 		if opts.Coalesce {
 			regalloc.CoalesceConservative(f.Instrs, graph, k, false, nil)
 		}
+		stopBuild()
 
 		// Spill costs: refs/degree, infinite for spill temporaries.
 		// Coalesced nodes sum their members' reference counts.
@@ -84,8 +87,14 @@ func Allocate(f *ir.Function, k int, opts Options) error {
 			n.SpillCost = float64(total) / float64(d)
 		}
 
+		stopColor := opts.Trace.StartTimer("gra.phase.color")
 		res := graph.Color(k, false)
+		stopColor()
 		if len(res.Spilled) == 0 {
+			if m := opts.Trace.Metrics(); m != nil {
+				m.ObserveVal("gra.func.iters", int64(iter)+1)
+				m.ObserveVal("gra.func.nodes", int64(graph.NumNodes()))
+			}
 			if opts.Trace.Enabled() {
 				opts.Trace.Emit(coloredEvent(f.Name, iter, graph))
 			}
@@ -112,6 +121,7 @@ func Allocate(f *ir.Function, k int, opts Options) error {
 			})
 		}
 		opts.Trace.Metrics().Add("gra.spill_rounds", 1)
+		stopSpill := opts.Trace.StartTimer("gra.phase.spill")
 		spilled := map[ir.Reg]bool{}
 		var remat []ir.Reg
 		for _, n := range res.Spilled {
@@ -141,6 +151,7 @@ func Allocate(f *ir.Function, k int, opts Options) error {
 			m.Add("gra.rematerialized", int64(len(remat)))
 		}
 		spillEverywhere(f, sp, spilled)
+		stopSpill()
 	}
 	return fmt.Errorf("chaitin: %s: no colouring after %d iterations", f.Name, maxIter)
 }

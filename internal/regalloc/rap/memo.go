@@ -263,6 +263,7 @@ func (a *allocator) memoLookup(V *ir.Region) (*ig.Graph, bool) {
 	if !a.memoActive(V) {
 		return nil, false
 	}
+	defer a.opts.Trace.StartTimer("rap.phase.memo")()
 	key := a.hasher.Region(V)
 	a.memoKeys[V.ID] = key
 	data, ok := a.opts.Memo.Get(key.Fp.String())

@@ -231,6 +231,7 @@ type allocator struct {
 // reanalyze rebuilds the CFG, liveness, def-use chains, region spans and
 // reference counts after the instruction list changed.
 func (a *allocator) reanalyze() error {
+	defer a.opts.Trace.StartTimer("rap.phase.analyze")()
 	g, err := cfg.Build(a.f)
 	if err != nil {
 		return fmt.Errorf("rap: %w", err)
@@ -267,10 +268,20 @@ func (a *allocator) allocateRegion(V *ir.Region) error {
 	}
 	isEntry := V.Parent == nil
 	for iter := 0; iter < a.opts.MaxIterations; iter++ {
+		stopBuild := a.opts.Trace.StartTimer("rap.phase.build")
 		gv := a.buildRegionGraph(V)
+		stopBuild()
+		stopCost := a.opts.Trace.StartTimer("rap.phase.cost")
 		a.calcSpillCosts(V, gv)
+		stopCost()
+		stopColor := a.opts.Trace.StartTimer("rap.phase.color")
 		res := gv.Color(a.k, !isEntry)
+		stopColor()
 		if len(res.Spilled) == 0 {
+			if m := a.opts.Trace.Metrics(); m != nil {
+				m.ObserveVal("rap.region.iters", int64(iter)+1)
+				m.ObserveVal("rap.region.nodes", int64(gv.NumNodes()))
+			}
 			if a.opts.Trace.Enabled() {
 				a.opts.Trace.Emit(regionColoredEvent(a.f.Name, V, iter, gv))
 			}
@@ -296,7 +307,10 @@ func (a *allocator) allocateRegion(V *ir.Region) error {
 			})
 		}
 		a.stats.SpillRounds++
-		if err := a.insertSpillCode(V, res.Spilled); err != nil {
+		stopSpill := a.opts.Trace.StartTimer("rap.phase.spill")
+		err := a.insertSpillCode(V, res.Spilled)
+		stopSpill()
+		if err != nil {
 			return err
 		}
 		if err := a.reanalyze(); err != nil {

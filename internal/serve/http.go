@@ -28,6 +28,13 @@ type errorBody struct {
 	Status string `json:"status"`
 }
 
+// TraceHeader is the HTTP header carrying a caller-chosen trace ID.
+// On /v1/jobs it becomes the job's ID; on /v1/batch it seeds the IDs
+// of jobs that did not bring their own ("<id>-0", "<id>-1", …). The
+// effective ID is echoed back in the same header and in every result,
+// span and slow-job line, so one ID follows a request end to end.
+const TraceHeader = "X-Rap-Trace-Id"
+
 // Server is the daemon's HTTP surface over one Runner.
 type Server struct {
 	runner *Runner
@@ -46,11 +53,23 @@ func NewServer(runner *Runner) *Server {
 // mounts it directly).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/batch", s.handleBatch)
-	mux.HandleFunc("/v1/jobs", s.handleJob)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/batch", s.timed("batch", s.handleBatch))
+	mux.HandleFunc("/v1/jobs", s.timed("jobs", s.handleJob))
+	mux.HandleFunc("/healthz", s.timed("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.timed("metrics", s.handleMetrics))
 	return mux
+}
+
+// timed wraps a handler with a per-endpoint latency histogram and
+// request counter ("serve.http.<name>", "serve.http.<name>.requests").
+func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		m := s.runner.Metrics()
+		m.Add("serve.http."+name+".requests", 1)
+		m.ObserveDur("serve.http."+name, time.Since(start))
+	}
 }
 
 // ListenAndServe serves on addr until Shutdown. It reports the bound
@@ -121,6 +140,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, StatusInvalid, fmt.Errorf("batch of %d exceeds limit %d", len(req.Jobs), s.MaxBatch))
 		return
 	}
+	// A trace ID in the request header seeds every job that did not
+	// bring its own ID, and is echoed back so the caller can follow the
+	// batch through traces, metrics and the slow-job log.
+	if tid := r.Header.Get(TraceHeader); tid != "" {
+		for i := range req.Jobs {
+			if req.Jobs[i].ID == "" {
+				if len(req.Jobs) == 1 {
+					req.Jobs[i].ID = tid
+				} else {
+					req.Jobs[i].ID = fmt.Sprintf("%s-%d", tid, i)
+				}
+			}
+		}
+		w.Header().Set(TraceHeader, tid)
+	}
 	// Whole-batch admission: either every job is accepted or the batch
 	// is turned away, so callers never see a half-run batch on
 	// backpressure.
@@ -159,11 +193,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, StatusInvalid, fmt.Errorf("bad job body: %w", err))
 		return
 	}
+	if job.ID == "" {
+		job.ID = r.Header.Get(TraceHeader)
+	}
 	res, err := s.runner.Do(r.Context(), job)
 	if err != nil {
 		s.reject(w, err)
 		return
 	}
+	w.Header().Set(TraceHeader, res.ID)
 	writeJSON(w, httpCode(res.Status), res)
 }
 
@@ -201,15 +239,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.runner.Health())
 }
 
-// handleMetrics serves the obs metrics snapshot (schema rap/metrics/v1):
-// the serve.* counters, every pipeline counter the jobs' forked tracers
-// merged back (rap.*, interp.*, …), the persistent store's traffic
-// (store.*) when one is attached, and — under "lastjob." — the full
-// allocator metrics snapshot of the most recently executed job.
+// handleMetrics serves the obs metrics snapshot (schema rap/metrics/v2):
+// the serve.* counters/gauges/latency histograms, every pipeline metric
+// the jobs' forked tracers merged back (rap.*, gra.*, interp.*, …), the
+// persistent store's traffic (store.*) when one is attached, and —
+// under "lastjob." — the full allocator metrics snapshot of the most
+// recently executed job. The default rendering is the JSON snapshot;
+// ?format=prom serves the same data in the Prometheus text exposition
+// format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
+	s.runner.ScrapeGauges()
 	snap := s.runner.Metrics().Snapshot()
 	snap = snap.Overlay("lastjob.", s.runner.LastJobSnapshot())
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		snap.WriteProm(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
 	snap.WriteJSON(w)
 }

@@ -1,0 +1,408 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// TestTraceIDPropagation: the X-Rap-Trace-Id header seeds job IDs on
+// both endpoints, is echoed back, and jobs without any ID still get a
+// stable one at admission.
+func TestTraceIDPropagation(t *testing.T) {
+	runner := serve.NewRunner(serve.RunnerConfig{Workers: 2, QueueDepth: 32})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		runner.Drain(ctx)
+	})
+	ts := httptest.NewServer(serve.NewServer(runner).Handler())
+	defer ts.Close()
+
+	post := func(path, traceID string, body any) (*http.Response, []byte) {
+		t.Helper()
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceID != "" {
+			req.Header.Set(serve.TraceHeader, traceID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp, out
+	}
+
+	// Batch: header-derived IDs for jobs without their own; explicit IDs
+	// win; header echoed.
+	batch := serve.BatchRequest{Jobs: []serve.Job{
+		{Source: goodSrc, Allocator: "rap", K: 5},
+		{ID: "mine", Source: goodSrc, Allocator: "gra", K: 5},
+		{Source: goodSrc, Allocator: "naive", K: 5},
+	}}
+	resp, body := post("/v1/batch", "tr-abc", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d\n%s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(serve.TraceHeader); got != "tr-abc" {
+		t.Errorf("batch response header = %q, want tr-abc", got)
+	}
+	br := decodeBatch(t, body)
+	wantIDs := []string{"tr-abc-0", "mine", "tr-abc-2"}
+	for i, res := range br.Results {
+		if res.ID != wantIDs[i] {
+			t.Errorf("result %d ID = %q, want %q", i, res.ID, wantIDs[i])
+		}
+	}
+
+	// Single-job batch: the header becomes the job's ID unsuffixed.
+	resp, body = post("/v1/batch", "tr-solo", serve.BatchRequest{Jobs: []serve.Job{{Source: goodSrc, Allocator: "rap", K: 6}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solo batch status = %d", resp.StatusCode)
+	}
+	if res := decodeBatch(t, body).Results[0]; res.ID != "tr-solo" {
+		t.Errorf("solo batch ID = %q, want tr-solo", res.ID)
+	}
+
+	// /v1/jobs: header-derived ID, echoed back on the response.
+	resp, body = post("/v1/jobs", "tr-one", serve.Job{Source: goodSrc, Allocator: "rap", K: 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job status = %d\n%s", resp.StatusCode, body)
+	}
+	var res serve.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "tr-one" || resp.Header.Get(serve.TraceHeader) != "tr-one" {
+		t.Errorf("job ID = %q, header = %q, want tr-one", res.ID, resp.Header.Get(serve.TraceHeader))
+	}
+
+	// No header, no ID: admission assigns a stable job-N ID anyway.
+	resp, body = post("/v1/jobs", "", serve.Job{Source: goodSrc, Allocator: "rap", K: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous job status = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.ID, "job-") {
+		t.Errorf("anonymous job ID = %q, want job-N", res.ID)
+	}
+}
+
+// TestTraceIDInTraceEvents: a tagged job's spans land in the trace
+// sink carrying its trace ID.
+func TestTraceIDInTraceEvents(t *testing.T) {
+	var jsonl bytes.Buffer
+	tr := obs.New(obs.NewJSONLSink(&jsonl)).WithMetrics(obs.NewMetrics())
+	runner := serve.NewRunner(serve.RunnerConfig{Workers: 1, Tracer: tr})
+	res, err := runner.Do(context.Background(), serve.Job{ID: "trace-me", Source: goodSrc, Allocator: "rap", K: 5})
+	if err != nil || res.Status != serve.StatusOK {
+		t.Fatalf("job failed: %v / %+v", err, res)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	runner.Drain(ctx)
+
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no trace events emitted")
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, `"trace_id":"trace-me"`) {
+			t.Errorf("trace line missing trace id: %s", line)
+		}
+		if _, err := obs.Decode([]byte(line)); err != nil {
+			t.Errorf("tagged line no longer decodes: %v\n%s", err, line)
+		}
+	}
+}
+
+// TestMetricsPromEndpoint: ?format=prom serves the same registry in
+// the text exposition format, including per-endpoint histograms and
+// the runner gauges.
+func TestMetricsPromEndpoint(t *testing.T) {
+	runner := serve.NewRunner(serve.RunnerConfig{Workers: 2, QueueDepth: 8})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		runner.Drain(ctx)
+	})
+	ts := httptest.NewServer(serve.NewServer(runner).Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/batch", serve.BatchRequest{Jobs: []serve.Job{{Source: goodSrc, Allocator: "rap", K: 5}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d\n%s", resp.StatusCode, body)
+	}
+
+	presp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	if ct := presp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prom content type = %q", ct)
+	}
+	raw, _ := io.ReadAll(presp.Body)
+	out := string(raw)
+	for _, want := range []string{
+		"serve_jobs_ok_total 1",
+		"# TYPE serve_workers gauge",
+		"serve_workers 2",
+		"# TYPE serve_utilization_pct gauge",
+		"# TYPE serve_job_ns histogram",
+		`serve_job_ns_bucket{le="+Inf"} 1`,
+		"serve_http_batch_ns_count 1",
+		"rap_funcs_allocated_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "serve.jobs") {
+		t.Error("prom output contains unsanitized dotted names")
+	}
+
+	// The JSON rendering still decodes and carries the v2 sections.
+	jresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(jresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != obs.SnapshotSchema {
+		t.Errorf("schema = %q", snap.Schema)
+	}
+	if snap.Gauges["serve.workers"] != 2 {
+		t.Errorf("gauges = %v", snap.Gauges)
+	}
+	if hs, ok := snap.TimeHistsNS["serve.job"]; !ok || hs.Count < 1 || !hs.Check() {
+		t.Errorf("serve.job hist = %+v (ok=%v)", hs, ok)
+	}
+}
+
+// TestHealthzDrainingTransition is the regression test for the
+// /healthz JSON body: state flips ok → draining while a job is still
+// in flight, and in_flight/uptime_ms report sane values throughout.
+func TestHealthzDrainingTransition(t *testing.T) {
+	runner := serve.NewRunner(serve.RunnerConfig{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(serve.NewServer(runner).Handler())
+	defer ts.Close()
+
+	getHealth := func() serve.Healthz {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h serve.Healthz
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	if h := getHealth(); h.State != "ok" || h.Status != "ok" || h.UptimeMS < 0 {
+		t.Fatalf("fresh healthz = %+v", h)
+	}
+
+	// Park a long job on the single worker, then start draining.
+	ctx, cancel := context.WithCancel(context.Background())
+	slow, err := runner.Submit(ctx, serve.Job{ID: "parked", Source: slowSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for getHealth().InFlight == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h := getHealth(); h.InFlight != 1 {
+		t.Fatalf("in-flight not visible: %+v", h)
+	}
+
+	drained := make(chan error, 1)
+	dctx, dcancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer dcancel()
+	go func() { drained <- runner.Drain(dctx) }()
+
+	deadline = time.Now().Add(5 * time.Second)
+	var h serve.Healthz
+	for time.Now().Before(deadline) {
+		h = getHealth()
+		if h.State == "draining" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if h.State != "draining" || h.Status != "draining" {
+		t.Fatalf("healthz during drain = %+v, want state=draining", h)
+	}
+	if h.InFlight != 1 {
+		t.Errorf("draining healthz lost the in-flight job: %+v", h)
+	}
+
+	cancel() // release the parked job so the drain can finish
+	slow.Wait()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if h := getHealth(); h.State != "draining" || h.InFlight != 0 {
+		t.Errorf("post-drain healthz = %+v", h)
+	}
+}
+
+// TestSlowJobLog: jobs at or over the threshold produce one JSON line
+// carrying the trace ID; fast jobs do not.
+func TestSlowJobLog(t *testing.T) {
+	var buf bytes.Buffer
+	runner := serve.NewRunner(serve.RunnerConfig{
+		Workers:          1,
+		SlowJobThreshold: time.Nanosecond, // everything is slow
+		SlowJobLog:       &buf,
+	})
+	res, err := runner.Do(context.Background(), serve.Job{ID: "sluggish", Source: goodSrc, Allocator: "rap", K: 5})
+	if err != nil || res.Status != serve.StatusOK {
+		t.Fatalf("job failed: %v / %+v", err, res)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	runner.Drain(ctx)
+
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("no slow-job line written")
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("slow-job line is not JSON: %v\n%s", err, line)
+	}
+	if entry["trace_id"] != "sluggish" || entry["slow_job"] != true || entry["status"] != serve.StatusOK {
+		t.Errorf("slow-job line = %s", line)
+	}
+
+	// Threshold respected: an effectively infinite threshold logs
+	// nothing.
+	var quiet bytes.Buffer
+	r2 := serve.NewRunner(serve.RunnerConfig{
+		Workers:          1,
+		SlowJobThreshold: time.Hour,
+		SlowJobLog:       &quiet,
+	})
+	if res, err := r2.Do(context.Background(), serve.Job{Source: goodSrc, Allocator: "gra", K: 5}); err != nil || res.Status != serve.StatusOK {
+		t.Fatalf("fast job failed: %v / %+v", err, res)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	r2.Drain(ctx2)
+	if quiet.Len() != 0 {
+		t.Errorf("fast job logged as slow: %s", quiet.String())
+	}
+}
+
+// TestMixedBatchAcceptance drives the acceptance scenario: a 100-job
+// mixed batch under one trace ID, then a prom scrape showing
+// per-endpoint and per-phase distributions with every result carrying
+// a derived trace ID.
+func TestMixedBatchAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runner := serve.NewRunner(serve.RunnerConfig{Workers: 4, QueueDepth: 128})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		runner.Drain(ctx)
+	})
+	ts := httptest.NewServer(serve.NewServer(runner).Handler())
+	defer ts.Close()
+
+	allocs := []string{"rap", "gra", "naive"}
+	jobs := make([]serve.Job, 100)
+	for i := range jobs {
+		jobs[i] = serve.Job{Source: goodSrc, Allocator: allocs[i%3], K: 4 + i%5}
+	}
+	b, _ := json.Marshal(serve.BatchRequest{Jobs: jobs})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/batch", bytes.NewReader(b))
+	req.Header.Set(serve.TraceHeader, "fleet-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d\n%s", resp.StatusCode, raw)
+	}
+	br := decodeBatch(t, raw)
+	if len(br.Results) != 100 {
+		t.Fatalf("%d results", len(br.Results))
+	}
+	for i, res := range br.Results {
+		if want := fmt.Sprintf("fleet-1-%d", i); res.ID != want {
+			t.Fatalf("result %d ID = %q, want %q", i, res.ID, want)
+		}
+		if res.Status != serve.StatusOK {
+			t.Errorf("job %d: %s (%s)", i, res.Status, res.Error)
+		}
+	}
+
+	presp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	praw, _ := io.ReadAll(presp.Body)
+	prom := string(praw)
+	for _, want := range []string{
+		"serve_http_batch_ns_bucket", // per-endpoint latency histogram
+		"serve_job_ns_bucket",        // per-job latency histogram
+		"rap_phase_color_ns_bucket",  // per-phase (RAP colouring) histogram
+		"gra_phase_build_ns_bucket",  // per-phase (GRA build) histogram
+		"rap_region_iters_bucket",    // deterministic value histogram
+		"serve_queue_wait_ns_bucket", // queue wait distribution
+		"serve_utilization_pct",      // scrape-time gauge
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("acceptance scrape missing %q", want)
+		}
+	}
+
+	// p50/p99 derivable from the JSON snapshot's serve.job histogram.
+	jresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(jresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	hs := snap.TimeHistsNS["serve.job"]
+	if hs.Count < 100 || hs.P50() <= 0 || hs.P99() < hs.P50() {
+		t.Errorf("serve.job hist: count=%d p50=%d p99=%d", hs.Count, hs.P50(), hs.P99())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -54,6 +55,13 @@ type RunnerConfig struct {
 	// restarts. The runner does not own the store; the caller closes it
 	// after Drain.
 	Store *store.Store
+	// SlowJobThreshold, when > 0 and SlowJobLog is set, logs every job
+	// whose wall clock meets or exceeds it as one structured JSON line
+	// on SlowJobLog, stamped with the job's trace ID.
+	SlowJobThreshold time.Duration
+	// SlowJobLog receives the slow-job lines (nil disables the log even
+	// with a threshold set). Writes are serialized by the runner.
+	SlowJobLog io.Writer
 }
 
 func (cfg *RunnerConfig) fill() {
@@ -76,10 +84,11 @@ func (cfg *RunnerConfig) fill() {
 
 // Task is one accepted job and its completion rendezvous.
 type Task struct {
-	ctx  context.Context
-	job  Job
-	res  Result
-	done chan struct{}
+	ctx      context.Context
+	job      Job
+	accepted time.Time
+	res      Result
+	done     chan struct{}
 }
 
 // Runner is the shared execution core: a bounded worker pool with
@@ -105,6 +114,16 @@ type Runner struct {
 	mu       sync.RWMutex
 	draining bool
 	wg       sync.WaitGroup
+	// started anchors the uptime reported by /healthz.
+	started time.Time
+	// inflight counts jobs currently inside execute (as opposed to
+	// pending, which also counts queued work).
+	inflight atomic.Int64
+	// jobSeq numbers jobs submitted without an ID, so every result and
+	// trace line carries a stable trace ID.
+	jobSeq atomic.Int64
+	// slowMu serializes slow-job log lines.
+	slowMu sync.Mutex
 }
 
 // NewRunner starts cfg.Workers workers and returns the runner. Call
@@ -115,7 +134,10 @@ func NewRunner(cfg RunnerConfig) *Runner {
 		cfg:     cfg,
 		metrics: cfg.Tracer.Metrics(),
 		queue:   make(chan *Task, cfg.QueueDepth+cfg.Workers),
+		started: time.Now(),
 	}
+	r.metrics.SetGauge("serve.workers", int64(cfg.Workers))
+	r.metrics.SetGauge("serve.queue.capacity", int64(cfg.QueueDepth))
 	r.cache = newCache(cfg.CacheSize, r.metrics)
 	if cfg.Store != nil {
 		r.cache.disk = store.Prefixed(cfg.Store, resultPrefix)
@@ -196,8 +218,15 @@ func (r *Runner) Submit(ctx context.Context, job Job) (*Task, error) {
 		r.metrics.Add("serve.queue.rejects", 1)
 		return nil, ErrQueueFull
 	}
-	t := &Task{ctx: ctx, job: job, done: make(chan struct{})}
+	// Every job gets a stable ID at admission: it is the trace ID on the
+	// job's spans/events, the "id" in its result line, and the join key
+	// in the slow-job log. Caller-provided IDs win.
+	if job.ID == "" {
+		job.ID = fmt.Sprintf("job-%d", r.jobSeq.Add(1))
+	}
+	t := &Task{ctx: ctx, job: job, accepted: time.Now(), done: make(chan struct{})}
 	r.metrics.Add("serve.jobs.accepted", 1)
+	r.metrics.SetGauge("serve.queue.depth", r.pending.Load()-r.inflight.Load())
 	r.queue <- t
 	return t, nil
 }
@@ -281,6 +310,7 @@ func (r *Runner) Drain(ctx context.Context) error {
 func (r *Runner) worker() {
 	defer r.wg.Done()
 	for t := range r.queue {
+		r.metrics.ObserveDur("serve.queue.wait", time.Since(t.accepted))
 		t.res = r.execute(t.ctx, t.job)
 		r.pending.Add(-1)
 		close(t.done)
@@ -292,11 +322,16 @@ func (r *Runner) worker() {
 func (r *Runner) execute(ctx context.Context, job Job) Result {
 	start := time.Now()
 	r.metrics.Add("serve.jobs.started", 1)
+	r.metrics.SetGauge("serve.inflight", r.inflight.Add(1))
 	finish := func(res Result) Result {
+		d := time.Since(start)
 		if res.DurationMS == 0 {
-			res.DurationMS = time.Since(start).Milliseconds()
+			res.DurationMS = d.Milliseconds()
 		}
+		r.inflight.Add(-1)
 		r.metrics.Add("serve.jobs."+res.Status, 1)
+		r.metrics.ObserveDur("serve.job", d)
+		r.logSlow(res, d)
 		return res
 	}
 	if err := job.Validate(); err != nil {
@@ -320,8 +355,10 @@ func (r *Runner) execute(ctx context.Context, job Job) Result {
 	// Each job compiles under a forked tracer (private metrics registry,
 	// shared sinks) merged back at the join, so concurrent jobs do not
 	// contend on one mutex and the registry only sees whole-job
-	// contributions.
-	tr := r.cfg.Tracer.Fork()
+	// contributions. The fork carries the job ID as its trace tag, so
+	// every span/event the pipeline emits lands in the sinks stamped
+	// with the ID the caller can correlate against.
+	tr := r.cfg.Tracer.Fork().WithTag(job.ID)
 	var outcome *Outcome
 	err := fuzz.RunIsolated(ctx, timeout, func(cctx context.Context) error {
 		var uerr error
@@ -343,13 +380,53 @@ func (r *Runner) execute(ctx context.Context, job Job) Result {
 	return finish(res)
 }
 
+// slowJobLine is the JSON shape of one slow-job log entry.
+type slowJobLine struct {
+	SlowJob     bool   `json:"slow_job"`
+	TraceID     string `json:"trace_id"`
+	Status      string `json:"status"`
+	DurationMS  int64  `json:"duration_ms"`
+	ThresholdMS int64  `json:"threshold_ms"`
+	Mode        string `json:"mode,omitempty"`
+	Allocator   string `json:"allocator,omitempty"`
+	Cached      bool   `json:"cached,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// logSlow writes one structured line for a job at or over the
+// configured threshold — the needle-finder for latency incidents:
+// grep the trace ID here, then pull the matching spans from the trace
+// JSONL and the result from the batch output.
+func (r *Runner) logSlow(res Result, d time.Duration) {
+	if r.cfg.SlowJobLog == nil || r.cfg.SlowJobThreshold <= 0 || d < r.cfg.SlowJobThreshold {
+		return
+	}
+	r.metrics.Add("serve.jobs.slow", 1)
+	line, err := json.Marshal(slowJobLine{
+		SlowJob: true, TraceID: res.ID, Status: res.Status,
+		DurationMS: d.Milliseconds(), ThresholdMS: r.cfg.SlowJobThreshold.Milliseconds(),
+		Cached: res.Cached, Error: res.Error,
+	})
+	if err != nil {
+		return
+	}
+	r.slowMu.Lock()
+	r.cfg.SlowJobLog.Write(append(line, '\n'))
+	r.slowMu.Unlock()
+}
+
 // Healthz is the service's liveness summary.
 type Healthz struct {
-	Status  string `json:"status"`
-	Workers int    `json:"workers"`
-	Queue   int    `json:"queue_depth"`
-	Pending int    `json:"pending"`
-	Cache   int    `json:"cache_entries"`
+	// State is "ok" while accepting work and "draining" once shutdown
+	// began. Status is its historical alias (same value).
+	State    string `json:"state"`
+	Status   string `json:"status"`
+	Workers  int    `json:"workers"`
+	Queue    int    `json:"queue_depth"`
+	Pending  int    `json:"pending"`
+	InFlight int    `json:"in_flight"`
+	Cache    int    `json:"cache_entries"`
+	UptimeMS int64  `json:"uptime_ms"`
 }
 
 // Health reports the runner's current shape.
@@ -362,15 +439,33 @@ func (r *Runner) Health() Healthz {
 		status = "draining"
 	}
 	return Healthz{
-		Status:  status,
-		Workers: r.cfg.Workers,
-		Queue:   r.cfg.QueueDepth,
-		Pending: r.Pending(),
-		Cache:   r.CacheLen(),
+		State:    status,
+		Status:   status,
+		Workers:  r.cfg.Workers,
+		Queue:    r.cfg.QueueDepth,
+		Pending:  r.Pending(),
+		InFlight: int(r.inflight.Load()),
+		Cache:    r.CacheLen(),
+		UptimeMS: time.Since(r.started).Milliseconds(),
 	}
+}
+
+// ScrapeGauges refreshes the point-in-time gauges a metrics scrape
+// should see fresh: queue depth, in-flight jobs, and worker
+// utilization as a 0–100 percentage.
+func (r *Runner) ScrapeGauges() {
+	inflight := r.inflight.Load()
+	queued := r.pending.Load() - inflight
+	if queued < 0 {
+		queued = 0
+	}
+	r.metrics.SetGauge("serve.inflight", inflight)
+	r.metrics.SetGauge("serve.queue.depth", queued)
+	r.metrics.SetGauge("serve.utilization_pct", 100*inflight/int64(r.cfg.Workers))
 }
 
 // String helps log lines.
 func (h Healthz) String() string {
-	return fmt.Sprintf("status=%s workers=%d queue=%d pending=%d cache=%d", h.Status, h.Workers, h.Queue, h.Pending, h.Cache)
+	return fmt.Sprintf("state=%s workers=%d queue=%d pending=%d inflight=%d cache=%d uptime_ms=%d",
+		h.State, h.Workers, h.Queue, h.Pending, h.InFlight, h.Cache, h.UptimeMS)
 }

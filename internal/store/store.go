@@ -20,7 +20,7 @@
 //     lock (lookups and file reads), Put and GC take the write lock, and
 //     per-entry access stamps are atomics so concurrent Gets do not
 //     serialize on bookkeeping.
-//   - Counters go to a rap/metrics/v1 registry under store.*: hit, miss,
+//   - Counters go to a rap/metrics/v2 registry under store.*: hit, miss,
 //     write, corrupt (tail truncations at open), gc (compactions).
 package store
 

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# prom_lint.sh — minimal linter for the Prometheus text exposition
+# format (version 0.0.4) as produced by obs.WriteProm. Reads the
+# exposition from stdin (or from a file argument) and fails on:
+#
+#   - a line that is not `name{labels} value` with a legal metric name
+#   - a duplicate series (identical name+labels emitted twice)
+#   - a *_bucket histogram family missing le="+Inf", _sum or _count
+#   - an le="+Inf" bucket that disagrees with the family's _count
+#   - a bucket sequence that is not cumulative (counts must be
+#     non-decreasing in emission order, which WriteProm sorts by le)
+#
+# Exits 0 and prints a one-line summary when the exposition is clean.
+set -euo pipefail
+
+awk '
+/^[ \t]*$/ { next }
+/^#/       { next }
+{
+    total++
+    if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$/) {
+        printf "prom_lint: line %d: malformed series: %s\n", NR, $0
+        bad = 1
+        next
+    }
+    val = $NF
+    series = $0
+    sub(/ [^ ]*$/, "", series)
+    if (seen[series]++) {
+        printf "prom_lint: line %d: duplicate series: %s\n", NR, series
+        bad = 1
+    }
+    if (series ~ /_bucket\{le="/) {
+        fam = series; sub(/_bucket\{le=.*/, "", fam)
+        le = series; sub(/.*le="/, "", le); sub(/"\}.*/, "", le)
+        if ((fam in lastb) && val + 0 < lastb[fam] + 0) {
+            printf "prom_lint: line %d: %s bucket le=\"%s\" drops below previous bucket (%s < %s)\n", NR, fam, le, val, lastb[fam]
+            bad = 1
+        }
+        lastb[fam] = val
+        if (le == "+Inf") infv[fam] = val
+        if (!(fam in nb)) nfam++
+        nb[fam]++
+    } else if (series ~ /_count$/ && series !~ /\{/) {
+        fam = series; sub(/_count$/, "", fam)
+        countv[fam] = val
+        hascount[fam] = 1
+    } else if (series ~ /_sum$/ && series !~ /\{/) {
+        fam = series; sub(/_sum$/, "", fam)
+        hassum[fam] = 1
+    }
+}
+END {
+    for (fam in nb) {
+        if (!(fam in infv)) {
+            printf "prom_lint: histogram %s has no le=\"+Inf\" bucket\n", fam; bad = 1
+        }
+        if (!hascount[fam]) {
+            printf "prom_lint: histogram %s has no %s_count\n", fam, fam; bad = 1
+        }
+        if (!hassum[fam]) {
+            printf "prom_lint: histogram %s has no %s_sum\n", fam, fam; bad = 1
+        }
+        if ((fam in infv) && hascount[fam] && infv[fam] + 0 != countv[fam] + 0) {
+            printf "prom_lint: histogram %s: le=\"+Inf\" bucket %s != count %s\n", fam, infv[fam], countv[fam]; bad = 1
+        }
+    }
+    if (total == 0) { print "prom_lint: empty exposition"; bad = 1 }
+    if (bad) exit 1
+    printf "prom_lint: OK (%d series, %d histogram families)\n", total, nfam
+}
+' "${1:--}"

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — CI smoke test for the rapserved daemon: start it, POST
-# a batch twice (the second run must hit the result cache), scrape
-# /metrics and /healthz, then SIGTERM it and require a clean drain.
+# a batch twice (the second run must hit the result cache), round-trip a
+# trace ID through X-Rap-Trace-Id, scrape /metrics (JSON and Prometheus
+# text, linted by prom_lint.sh) and /healthz, then SIGTERM it and
+# require a clean drain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,8 +22,15 @@ for _ in $(seq 1 50); do
     if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
     sleep 0.1
 done
-curl -sf "http://$ADDR/healthz" | grep -q '"status": "ok"' || {
+HEALTH=$(curl -sf "http://$ADDR/healthz")
+echo "$HEALTH" | grep -q '"status": "ok"' || {
     echo "FAIL: daemon never became healthy"; cat "$LOG"; exit 1; }
+echo "$HEALTH" | grep -q '"state": "ok"' || {
+    echo "FAIL: healthz has no state field"; echo "$HEALTH"; exit 1; }
+echo "$HEALTH" | grep -Eq '"uptime_ms": [0-9]+' || {
+    echo "FAIL: healthz has no uptime"; echo "$HEALTH"; exit 1; }
+echo "$HEALTH" | grep -q '"in_flight": 0' || {
+    echo "FAIL: idle daemon reports in-flight jobs"; echo "$HEALTH"; exit 1; }
 
 BATCH='{"jobs":[
   {"id":"ok",      "source":"int main() { print(40+2); return 0; }", "allocator":"rap", "k":5},
@@ -42,11 +51,37 @@ fi
 OUT=$(curl -sf -X POST "http://$ADDR/v1/batch" -d "$BATCH")
 echo "$OUT" | grep -q '"cached": true' || { echo "FAIL: resubmission missed the cache"; echo "$OUT"; exit 1; }
 
-# The hit is visible in /metrics.
+# A trace ID submitted in the header comes back in the header, the
+# result body, and (as IDs seeded from it) the batch results.
+HDRS=$(mktemp)
+OUT=$(curl -sf -D "$HDRS" -X POST "http://$ADDR/v1/jobs" \
+    -H 'X-Rap-Trace-Id: smoke-trace-7' \
+    -d '{"source":"int main() { print(7); return 0; }", "allocator":"rap", "k":5}')
+echo "$OUT" | grep -q '"id": "smoke-trace-7"' || {
+    echo "FAIL: trace ID not echoed in result body"; echo "$OUT"; exit 1; }
+grep -qi 'X-Rap-Trace-Id: smoke-trace-7' "$HDRS" || {
+    echo "FAIL: trace ID not echoed in response header"; cat "$HDRS"; exit 1; }
+
+# The hit is visible in /metrics (rap/metrics/v2: counters + gauges +
+# latency histograms).
 METRICS=$(curl -sf "http://$ADDR/metrics")
-echo "$METRICS" | grep -q '"schema": "rap/metrics/v1"' || { echo "FAIL: bad metrics schema"; exit 1; }
+echo "$METRICS" | grep -q '"schema": "rap/metrics/v2"' || { echo "FAIL: bad metrics schema"; exit 1; }
 echo "$METRICS" | grep -Eq '"serve\.cache\.hits": [1-9]' || {
     echo "FAIL: no cache hits in /metrics"; echo "$METRICS"; exit 1; }
+echo "$METRICS" | grep -q '"serve.workers"' || {
+    echo "FAIL: no worker gauge in /metrics"; echo "$METRICS"; exit 1; }
+echo "$METRICS" | grep -q '"serve.job"' || {
+    echo "FAIL: no serve.job latency histogram in /metrics"; echo "$METRICS"; exit 1; }
+
+# The Prometheus rendering of the same snapshot passes the format lint
+# and carries the per-endpoint and per-phase latency histograms.
+PROM=$(mktemp)
+curl -sf "http://$ADDR/metrics?format=prom" >"$PROM"
+./scripts/prom_lint.sh "$PROM" || { echo "FAIL: prom exposition does not lint"; cat "$PROM"; exit 1; }
+for series in serve_jobs_ok_total serve_workers serve_job_ns_bucket serve_http_batch_ns_count rap_phase_color_ns_bucket; do
+    grep -q "^$series" "$PROM" || {
+        echo "FAIL: prom exposition missing $series"; cat "$PROM"; exit 1; }
+done
 
 # Graceful drain: SIGTERM, daemon exits 0 and logs a clean drain.
 kill -TERM $SRV
@@ -62,4 +97,4 @@ wait $SRV && RC=0 || RC=$?
 grep -q "drained cleanly" "$LOG" || { echo "FAIL: no clean-drain log line"; cat "$LOG"; exit 1; }
 trap - EXIT
 
-echo "PASS: serve smoke (batch, cache hit, metrics, SIGTERM drain)"
+echo "PASS: serve smoke (batch, cache hit, trace ID, metrics+prom, SIGTERM drain)"
