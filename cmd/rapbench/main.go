@@ -12,6 +12,7 @@
 //	rapbench -json out.json      # machine-readable record ("rap/bench/v1")
 //	rapbench -parallel 4         # bound the (program,k) worker pool
 //	rapbench -store /tmp/rap     # cold/warm double-run against a persistent region-memo store
+//	rapbench -intra-parallel -cpus 1,2,4,8   # multi-core sweep of RAP's intra-function walk
 //	rapbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -48,6 +49,10 @@ func main() {
 		suite    = flag.String("suite", "paper", "benchmark set: paper (Table 1 rows) or extended (adds bubble/quick/mm/whetstone/ackermann)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the (program,k) comparison units; 1 = sequential (output is identical either way)")
 		storeDir = flag.String("store", "", "run the suite twice (cold, then warm) against a persistent artifact store in this directory and report hit rates; -json writes the rap/bench-store/v1 record")
+		intraSweep   = flag.Bool("intra-parallel", false, "sweep RAP's intra-function parallel walk over the -cpus GOMAXPROCS values, asserting parallel output byte-identical to sequential; -json writes the rap/bench-intra/v1 record")
+		cpusFlag     = flag.String("cpus", "1,2,4,8", "GOMAXPROCS values for the -intra-parallel sweep")
+		intraRepeat  = flag.Int("intra-repeat", 5, "timed repetitions per -intra-parallel point (best is reported)")
+		intraWorkers = flag.Int("intra-workers", 0, "rap.Options.IntraParallel for the Table 1 run (0 or 1 = sequential; results are identical either way)")
 	)
 	flag.Parse()
 	// Ctrl-C (or a CI job cancellation) stops pending and in-flight
@@ -89,6 +94,31 @@ func main() {
 		}
 	}()
 
+	if *intraSweep {
+		cpus, err := core.ParseKs(*cpusFlag)
+		if err != nil {
+			fatal(fmt.Errorf("-cpus: %w", err))
+		}
+		rep, err := bench.RunIntraBench(ctx, bench.IntraConfig{
+			CPUs: cpus, Ks: ks, Repeat: *intraRepeat, Only: names,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.FormatIntra(rep))
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := bench.WriteIntraJSON(f, rep); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+
 	if *ablate {
 		runAblation(ctx, ks, names, *parallel, *verify)
 		return
@@ -101,6 +131,7 @@ func main() {
 		fatal(fmt.Errorf("unknown -suite %q", *suite))
 	}
 	cfg := core.CompareConfig{Lower: lower.Options{MergeStatements: *merge}, Parallel: *parallel, Verify: *verify}
+	cfg.RAP.IntraParallel = *intraWorkers
 	cfg.Trace = debugTracer()
 	if *storeDir != "" {
 		runStoreBench(ctx, *storeDir, progs, ks, cfg, *jsonOut, names)

@@ -62,6 +62,7 @@ func main() {
 		storeMax   = flag.Int64("store-max-bytes", 0, "size bound for the persistent store before GC by access time (0 = 64 MiB)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		slowJob    = flag.Duration("slow-job", 0, "log a structured line to stderr for any job slower than this (0 = disabled)")
+		intraPar   = flag.Int("intra-parallel", 0, "worker pool for RAP's intra-function parallel walk (0 or 1 = sequential; results are identical either way)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -130,6 +131,7 @@ func main() {
 		Store:            st,
 		SlowJobThreshold: *slowJob,
 		SlowJobLog:       os.Stderr,
+		IntraParallel:    *intraPar,
 	})
 
 	if *batch {

@@ -1,0 +1,360 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/regalloc/rap"
+)
+
+// This file is the multi-core measurement protocol for RAP's
+// intra-function parallel walk (rap.Options.IntraParallel): rapbench
+// -intra-parallel sweeps GOMAXPROCS over -cpus, and for every routine,
+// k, and memo mode times the sequential walk against the parallel walk
+// at workers = GOMAXPROCS, asserting the outputs byte-identical as it
+// goes. The emitted rap/bench-intra/v1 document is what a trajectory
+// records as BENCH_pr7.json.
+
+// IntraSchema names the machine-readable record of an intra-parallel
+// sweep.
+const IntraSchema = "rap/bench-intra/v1"
+
+// Memo-mode labels used in IntraFuncResult.Variant.
+const (
+	VariantPlain    = "plain"     // no region memo
+	VariantMemoCold = "memo-cold" // fresh store every run
+	VariantMemoWarm = "memo-warm" // store prewarmed by a prior allocation
+)
+
+// IntraConfig tunes RunIntraBench.
+type IntraConfig struct {
+	// CPUs are the GOMAXPROCS values to sweep; the parallel walk runs
+	// with workers = GOMAXPROCS at each point (default 1,2,4,8).
+	CPUs []int
+	// Ks are the register set sizes (default bench.Ks).
+	Ks []int
+	// Repeat is the number of timed repetitions per point; the best
+	// (minimum) wall clock is reported (default 5).
+	Repeat int
+	// Only restricts the Table 1 programs measured (the synthetic wide
+	// programs always run; they are the shapes the walk exists for).
+	Only []string
+}
+
+// IntraFuncResult is one (routine, k, memo mode) point of a sweep: the
+// best-of-Repeat wall clock of the sequential and parallel walks and the
+// derived speedup. RootSubtrees is the width of the function's region
+// tree at the root — the walk's maximum top-level parallelism — so a
+// reader can attribute speedups (and their absence) to tree shape.
+type IntraFuncResult struct {
+	Program      string  `json:"program"`
+	Func         string  `json:"func"`
+	K            int     `json:"k"`
+	Variant      string  `json:"variant"`
+	RootSubtrees int     `json:"root_subtrees"`
+	SeqNS        int64   `json:"seq_ns"`
+	ParNS        int64   `json:"par_ns"`
+	Speedup      float64 `json:"speedup"`
+	// Identical records the byte-comparison of the two allocations; the
+	// run fails if any point is false, so a recorded report always holds
+	// all-true values.
+	Identical bool `json:"identical"`
+}
+
+// IntraSweep is one GOMAXPROCS point: every function result plus the
+// per-phase wall-clock distributions (rap/metrics/v2 histograms) of the
+// sequential and parallel runs, for attribution.
+type IntraSweep struct {
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Workers    int               `json:"workers"`
+	Funcs      []IntraFuncResult `json:"funcs"`
+	// AvgSpeedup averages the per-function speedups by memo mode.
+	AvgSpeedup map[string]float64 `json:"avg_speedup"`
+	// SeqPhases / ParPhases are the p50/p90/p99 phase latencies observed
+	// during the timed sequential and parallel runs of this sweep.
+	SeqPhases []PhaseLatency `json:"seq_phases,omitempty"`
+	ParPhases []PhaseLatency `json:"par_phases,omitempty"`
+}
+
+// IntraReport is the full rap/bench-intra/v1 document.
+type IntraReport struct {
+	Schema string `json:"schema"`
+	// HostCPUs is runtime.NumCPU() on the measuring host. Speedup above
+	// 1 is only physically possible for GOMAXPROCS values up to this;
+	// sweep points beyond it measure scheduling overhead, not
+	// parallelism.
+	HostCPUs int          `json:"host_cpus"`
+	Ks       []int        `json:"ks"`
+	Repeat   int          `json:"repeat"`
+	Sweeps   []IntraSweep `json:"sweeps"`
+}
+
+// WidePrograms returns synthetic programs whose functions have wide,
+// flat region trees — many independent sibling subtrees under the root,
+// each substantial — the shape the intra-parallel walk is built for. The
+// paper's Table 1 routines are loop-dominated with narrow trees (one or
+// two subtrees dominate the root), which bounds sibling parallelism;
+// these make the available parallelism explicit and measurable.
+func WidePrograms() []Program {
+	return []Program{
+		{Name: "wide16", Source: wideSource(16, 8), Funcs: []string{"wide"}},
+		{Name: "wide32", Source: wideSource(32, 8), Funcs: []string{"wide"}},
+	}
+}
+
+// wideSource generates a MiniC function whose body is `branches`
+// top-level if/else statements — each a sibling subtree of the root
+// region, each containing a small loop nest over `stmts` statements of
+// register-pressure-heavy arithmetic. Deterministic text, no randomness.
+func wideSource(branches, stmts int) string {
+	var b strings.Builder
+	b.WriteString("int wout[64];\n\nint wide(int x) {\n\tint acc = x;\n")
+	for i := 0; i < branches; i++ {
+		fmt.Fprintf(&b, "\tif (x > %d) {\n", i%7)
+		fmt.Fprintf(&b, "\t\tint i%d;\n\t\tint a%d = x + %d;\n\t\tint b%d = x * %d;\n", i, i, i+1, i, i+2)
+		fmt.Fprintf(&b, "\t\tfor (i%d = 0; i%d < 8; i%d = i%d + 1) {\n", i, i, i, i)
+		for s := 0; s < stmts; s++ {
+			fmt.Fprintf(&b, "\t\t\ta%d = a%d * %d + b%d - i%d;\n", i, i, (s%5)+2, i, i)
+			fmt.Fprintf(&b, "\t\t\tb%d = b%d + a%d / %d;\n", i, i, i, (s%3)+2)
+		}
+		fmt.Fprintf(&b, "\t\t}\n\t\tacc = acc + a%d - b%d;\n", i, i)
+		fmt.Fprintf(&b, "\t} else {\n\t\tacc = acc - %d;\n\t}\n", i+1)
+		fmt.Fprintf(&b, "\twout[%d] = acc;\n", i%64)
+	}
+	b.WriteString("\treturn acc;\n}\n\nint main() {\n\tprint(wide(5));\n\treturn 0;\n}\n")
+	return b.String()
+}
+
+// intraUnit is one function to measure, compiled and prewarmed once.
+type intraUnit struct {
+	program string
+	fn      *ir.Function
+	k       int
+	// warm is a store prewarmed by one full allocation of fn at k,
+	// cloned (outside the timed section) for every warm-memo run.
+	warm *rap.MapMemo
+}
+
+// RunIntraBench executes the protocol and returns the report. Any
+// sequential/parallel output divergence aborts with an error naming the
+// point — the sweep doubles as a determinism check on real inputs.
+func RunIntraBench(ctx context.Context, cfg IntraConfig) (*IntraReport, error) {
+	if len(cfg.CPUs) == 0 {
+		cfg.CPUs = []int{1, 2, 4, 8}
+	}
+	if len(cfg.Ks) == 0 {
+		cfg.Ks = Ks
+	}
+	if cfg.Repeat <= 0 {
+		cfg.Repeat = 5
+	}
+	units, err := intraUnits(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &IntraReport{Schema: IntraSchema, HostCPUs: runtime.NumCPU(), Ks: cfg.Ks, Repeat: cfg.Repeat}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, cpus := range cfg.CPUs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		runtime.GOMAXPROCS(cpus)
+		sweep, err := runSweep(ctx, cpus, units, cfg.Repeat)
+		if err != nil {
+			return nil, err
+		}
+		rep.Sweeps = append(rep.Sweeps, *sweep)
+	}
+	return rep, nil
+}
+
+// intraUnits compiles the suite (Table 1 subset plus the wide synthetic
+// programs) and prewarms one memo per (function, k).
+func intraUnits(cfg IntraConfig) ([]intraUnit, error) {
+	wanted := map[string]bool{}
+	for _, n := range cfg.Only {
+		wanted[n] = true
+	}
+	var progs []Program
+	for _, p := range Programs() {
+		if len(wanted) > 0 && !wanted[p.Name] {
+			continue
+		}
+		progs = append(progs, p)
+	}
+	progs = append(progs, WidePrograms()...)
+	var units []intraUnit
+	for _, prog := range progs {
+		p, err := core.Compile(prog.Source, core.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", prog.Name, err)
+		}
+		byName := map[string]*ir.Function{}
+		for _, f := range p.Funcs {
+			byName[f.Name] = f
+		}
+		for _, name := range prog.Funcs {
+			f := byName[name]
+			if f == nil {
+				return nil, fmt.Errorf("%s: routine %s not found", prog.Name, name)
+			}
+			for _, k := range cfg.Ks {
+				warm := rap.NewMapMemo()
+				if err := rap.Allocate(f.Clone(), k, rap.Options{Memo: warm}); err != nil {
+					return nil, fmt.Errorf("%s/%s k=%d: prewarm: %w", prog.Name, name, k, err)
+				}
+				units = append(units, intraUnit{program: prog.Name, fn: f, k: k, warm: warm})
+			}
+		}
+	}
+	return units, nil
+}
+
+// runSweep measures every unit at one GOMAXPROCS point.
+func runSweep(ctx context.Context, cpus int, units []intraUnit, repeat int) (*IntraSweep, error) {
+	seqM, parM := obs.NewMetrics(), obs.NewMetrics()
+	seqTr, parTr := obs.New().WithMetrics(seqM), obs.New().WithMetrics(parM)
+	sweep := &IntraSweep{GoMaxProcs: cpus, Workers: cpus, AvgSpeedup: map[string]float64{}}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, u := range units {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, variant := range []string{VariantPlain, VariantMemoCold, VariantMemoWarm} {
+			seqNS, seqText, err := timeAlloc(u, rap.Options{Trace: seqTr}, variant, repeat)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s k=%d %s sequential: %w", u.program, u.fn.Name, u.k, variant, err)
+			}
+			parNS, parText, err := timeAlloc(u, rap.Options{Trace: parTr, IntraParallel: cpus}, variant, repeat)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s k=%d %s parallel: %w", u.program, u.fn.Name, u.k, variant, err)
+			}
+			res := IntraFuncResult{
+				Program: u.program, Func: u.fn.Name, K: u.k, Variant: variant,
+				RootSubtrees: len(u.fn.Regions.Children),
+				SeqNS:        seqNS, ParNS: parNS,
+				Identical: seqText == parText,
+			}
+			if parNS > 0 {
+				res.Speedup = float64(seqNS) / float64(parNS)
+			}
+			if !res.Identical {
+				return nil, fmt.Errorf("%s/%s k=%d %s: parallel output differs from sequential at GOMAXPROCS=%d",
+					u.program, u.fn.Name, u.k, variant, cpus)
+			}
+			sweep.Funcs = append(sweep.Funcs, res)
+			sums[variant] += res.Speedup
+			counts[variant]++
+		}
+	}
+	for v, s := range sums {
+		if counts[v] > 0 {
+			sweep.AvgSpeedup[v] = s / float64(counts[v])
+		}
+	}
+	sweep.SeqPhases = PhaseLatencies(seqM.Snapshot())
+	sweep.ParPhases = PhaseLatencies(parM.Snapshot())
+	return sweep, nil
+}
+
+// timeAlloc runs `repeat` allocations of the unit under the given
+// options and memo mode, returning the best wall clock and the (stable)
+// allocated text. Store setup — a fresh store for cold, a copy of the
+// prewarmed store for warm — happens outside the timed section.
+func timeAlloc(u intraUnit, opts rap.Options, variant string, repeat int) (int64, string, error) {
+	best := int64(-1)
+	text := ""
+	for r := 0; r < repeat; r++ {
+		switch variant {
+		case VariantMemoCold:
+			opts.Memo = rap.NewMapMemo()
+		case VariantMemoWarm:
+			m := rap.NewMapMemo()
+			for _, it := range u.warm.Items() {
+				if err := m.Put(it.Key, it.Val); err != nil {
+					return 0, "", err
+				}
+			}
+			opts.Memo = m
+		}
+		g := u.fn.Clone()
+		start := time.Now()
+		err := rap.Allocate(g, u.k, opts)
+		d := time.Since(start).Nanoseconds()
+		if err != nil {
+			return 0, "", err
+		}
+		if best < 0 || d < best {
+			best = d
+		}
+		got := g.String()
+		if text == "" {
+			text = got
+		} else if text != got {
+			return 0, "", fmt.Errorf("repetition %d produced different output", r)
+		}
+	}
+	return best, text, nil
+}
+
+// WriteIntraJSON writes the report as indented JSON.
+func WriteIntraJSON(w io.Writer, rep *IntraReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// FormatIntra renders a human summary of the report: per sweep, the
+// average speedup by memo mode and the five widest-tree functions'
+// individual speedups.
+func FormatIntra(rep *IntraReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "intra-parallel walk sweep (host CPUs: %d, best of %d)\n", rep.HostCPUs, rep.Repeat)
+	for _, s := range rep.Sweeps {
+		fmt.Fprintf(&b, "\nGOMAXPROCS=%d workers=%d", s.GoMaxProcs, s.Workers)
+		if s.GoMaxProcs > rep.HostCPUs {
+			fmt.Fprintf(&b, " (oversubscribed: host has %d)", rep.HostCPUs)
+		}
+		b.WriteString("\n")
+		for _, v := range []string{VariantPlain, VariantMemoCold, VariantMemoWarm} {
+			fmt.Fprintf(&b, "  avg speedup %-10s %.2fx\n", v, s.AvgSpeedup[v])
+		}
+		wide := append([]IntraFuncResult(nil), s.Funcs...)
+		for i := 0; i < len(wide); i++ {
+			for j := i + 1; j < len(wide); j++ {
+				if wide[j].RootSubtrees > wide[i].RootSubtrees ||
+					(wide[j].RootSubtrees == wide[i].RootSubtrees && wide[j].SeqNS > wide[i].SeqNS) {
+					wide[i], wide[j] = wide[j], wide[i]
+				}
+			}
+		}
+		shown := 0
+		for _, f := range wide {
+			if f.Variant != VariantPlain {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-10s %-12s k=%d subtrees=%-3d seq=%-10s par=%-10s %.2fx\n",
+				f.Program, f.Func, f.K, f.RootSubtrees,
+				time.Duration(f.SeqNS).Round(time.Microsecond),
+				time.Duration(f.ParNS).Round(time.Microsecond), f.Speedup)
+			shown++
+			if shown == 5 {
+				break
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunIntraBench runs a miniature sweep end to end: the wide
+// synthetic programs plus one Table 1 program, two GOMAXPROCS points,
+// one repetition. It checks the report shape and that every point was
+// byte-identical (RunIntraBench errors otherwise, so Identical must be
+// all-true in any report it returns).
+func TestRunIntraBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long; skipped under -short")
+	}
+	rep, err := RunIntraBench(context.Background(), IntraConfig{
+		CPUs:   []int{1, 2},
+		Ks:     []int{5},
+		Repeat: 1,
+		Only:   []string{"hsort"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != IntraSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, IntraSchema)
+	}
+	if len(rep.Sweeps) != 2 {
+		t.Fatalf("got %d sweeps, want 2", len(rep.Sweeps))
+	}
+	for _, s := range rep.Sweeps {
+		if len(s.Funcs) == 0 {
+			t.Fatalf("sweep GOMAXPROCS=%d has no results", s.GoMaxProcs)
+		}
+		variants := map[string]bool{}
+		for _, f := range s.Funcs {
+			variants[f.Variant] = true
+			if !f.Identical {
+				t.Errorf("%s/%s k=%d %s: not identical", f.Program, f.Func, f.K, f.Variant)
+			}
+			if f.SeqNS <= 0 || f.ParNS <= 0 {
+				t.Errorf("%s/%s: non-positive timing %d/%d", f.Program, f.Func, f.SeqNS, f.ParNS)
+			}
+		}
+		for _, v := range []string{VariantPlain, VariantMemoCold, VariantMemoWarm} {
+			if !variants[v] {
+				t.Errorf("sweep GOMAXPROCS=%d missing variant %s", s.GoMaxProcs, v)
+			}
+			if s.AvgSpeedup[v] <= 0 {
+				t.Errorf("sweep GOMAXPROCS=%d: avg speedup %s = %v", s.GoMaxProcs, v, s.AvgSpeedup[v])
+			}
+		}
+		if len(s.SeqPhases) == 0 || len(s.ParPhases) == 0 {
+			t.Errorf("sweep GOMAXPROCS=%d missing phase latencies (seq %d, par %d)",
+				s.GoMaxProcs, len(s.SeqPhases), len(s.ParPhases))
+		}
+	}
+
+	// The wide programs must be present — they are the protocol's
+	// parallelism-exists witness — and actually wide at the root.
+	sawWide := false
+	for _, f := range rep.Sweeps[0].Funcs {
+		if f.Program == "wide16" {
+			sawWide = true
+			if f.RootSubtrees < 16 {
+				t.Errorf("wide16 root has %d subtrees, want >= 16", f.RootSubtrees)
+			}
+		}
+	}
+	if !sawWide {
+		t.Error("wide16 missing from sweep")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteIntraJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back IntraReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Schema != IntraSchema || len(back.Sweeps) != len(rep.Sweeps) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if FormatIntra(rep) == "" {
+		t.Error("FormatIntra returned nothing")
+	}
+}
+
+// TestWideSourceCompiles pins the synthetic generator: deterministic
+// output, compiles, and the region tree is as wide as requested.
+func TestWideSourceCompiles(t *testing.T) {
+	if wideSource(4, 2) != wideSource(4, 2) {
+		t.Fatal("wideSource is not deterministic")
+	}
+	units, err := intraUnits(IntraConfig{Ks: []int{3}, Only: []string{"hanoi"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	for _, u := range units {
+		names[u.program]++
+		if u.warm == nil || len(u.warm.Items()) == 0 {
+			t.Errorf("%s/%s: prewarmed store is empty", u.program, u.fn.Name)
+		}
+	}
+	for _, want := range []string{"hanoi", "wide16", "wide32"} {
+		if names[want] == 0 {
+			t.Errorf("missing program %s in units (have %v)", want, names)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+// SpecFork is the tracer handed to a *speculative* worker — one whose
+// whole contribution must either land atomically or vanish without a
+// trace. Where Fork only privatizes the metrics registry (events still
+// stream straight to the shared sinks), ForkBuffered also swaps the
+// parent's sinks for a private buffer. Commit merges the metrics and
+// replays the buffered events to the parent's sinks in emission order;
+// a fork that is never committed leaves no mark anywhere — which is
+// what lets RAP's intra-function scheduler discard a mispredicted
+// subtree allocation and re-run it as if the speculation never
+// happened.
+type SpecFork struct {
+	// T is the tracer the worker should use. nil when the parent was
+	// disabled (the usual zero-cost path).
+	T      *Tracer
+	parent *Tracer
+	events *Collector
+}
+
+// ForkBuffered returns a speculative fork of t: a tracer with a private
+// metrics registry (when t carries one) and a private event buffer in
+// place of t's sinks (when t has any). The fork inherits t's trace tag,
+// so buffered events are stamped exactly as the parent would have
+// stamped them. A nil or fully disabled tracer forks to a disabled
+// SpecFork whose Commit is a no-op.
+func (t *Tracer) ForkBuffered() *SpecFork {
+	if t == nil || (len(t.sinks) == 0 && t.m == nil) {
+		return &SpecFork{}
+	}
+	f := &SpecFork{parent: t}
+	w := &Tracer{tag: t.tag}
+	if len(t.sinks) > 0 {
+		f.events = &Collector{}
+		w.sinks = []Sink{f.events}
+	}
+	if t.m != nil {
+		w.m = NewMetrics()
+	}
+	f.T = w
+	return f
+}
+
+// Commit lands the fork's contribution in the parent: the private
+// metrics registry merges in (counter addition, histogram bucket
+// addition and gauge max are associative and commutative, so the merged
+// registry is identical to one the same work had written directly) and
+// the buffered events forward to the parent's sinks in their original
+// emission order. Events were already counted in the fork's registry
+// and tagged at emission time, so the forward writes the sinks directly
+// without re-counting or re-wrapping. Commit must be called at most
+// once; never calling it discards the fork's entire contribution.
+func (f *SpecFork) Commit() {
+	if f.parent == nil || f.T == nil {
+		return
+	}
+	f.parent.Join(f.T)
+	if f.events != nil {
+		for _, ev := range f.events.Events() {
+			for _, s := range f.parent.sinks {
+				s.Emit(ev)
+			}
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package rap
 
 import (
-	"sort"
-
 	"repro/internal/ig"
 	"repro/internal/ir"
 	"repro/internal/regalloc"
@@ -21,17 +19,18 @@ func (a *allocator) buildRegionGraph(V *ir.Region) *ig.Graph {
 	// Nodes: every register referenced by a statement the region owns
 	// directly. Registers merely live through the region are deliberately
 	// omitted so referenced registers get colouring priority (§3.1.1).
-	ownRefs := map[ir.Reg]bool{}
+	// ownRefs is scratch (a bitset's ForEach ascends, preserving the
+	// sorted-iteration determinism the old map needed sortRegs for).
+	ownRefs := a.scratch.getSet()
+	defer a.scratch.putSet(ownRefs)
 	var buf []ir.Reg
 	for _, i := range own {
 		buf = a.refsAt(i, buf[:0])
 		for _, r := range buf {
-			ownRefs[r] = true
+			ownRefs.Add(int(r))
 		}
 	}
-	for _, r := range sortRegs(ownRefs) {
-		gv.Ensure(r)
-	}
+	ownRefs.ForEach(func(ri int) { gv.Ensure(ir.Reg(ri)) })
 	// Standard interferences at definition points in V's own code,
 	// restricted to own-referenced registers. A copy's destination does
 	// not interfere with its source (the rule that enables copy
@@ -39,7 +38,7 @@ func (a *allocator) buildRegionGraph(V *ir.Region) *ig.Graph {
 	for _, i := range own {
 		in := a.f.Instrs[i]
 		d := in.Def()
-		if d == ir.None || !ownRefs[d] {
+		if d == ir.None || !ownRefs.Has(int(d)) {
 			continue
 		}
 		copySrc := ir.None
@@ -48,7 +47,7 @@ func (a *allocator) buildRegionGraph(V *ir.Region) *ig.Graph {
 		}
 		a.lv.LiveOut[i].ForEach(func(ri int) {
 			r := ir.Reg(ri)
-			if r == d || r == copySrc || !ownRefs[r] {
+			if r == d || r == copySrc || !ownRefs.Has(ri) {
 				return
 			}
 			gv.AddEdge(d, r)
@@ -58,12 +57,11 @@ func (a *allocator) buildRegionGraph(V *ir.Region) *ig.Graph {
 	// and referenced in the region's own code interfere (§3.1.1).
 	liveIn := a.liveAtEntry(V)
 	var liveInOwn []ir.Reg
-	for r := range ownRefs {
-		if liveIn[r] {
-			liveInOwn = append(liveInOwn, r)
+	ownRefs.ForEach(func(ri int) {
+		if liveIn.Has(ri) {
+			liveInOwn = append(liveInOwn, ir.Reg(ri))
 		}
-	}
-	sort.Slice(liveInOwn, func(i, j int) bool { return liveInOwn[i] < liveInOwn[j] })
+	})
 	for i := 0; i < len(liveInOwn); i++ {
 		for j := i + 1; j < len(liveInOwn); j++ {
 			gv.AddEdge(liveInOwn[i], liveInOwn[j])
@@ -74,14 +72,13 @@ func (a *allocator) buildRegionGraph(V *ir.Region) *ig.Graph {
 	subs := V.Children
 	// Vars: registers referenced in V's own code or present in a
 	// subregion's summary graph.
-	vars := map[ir.Reg]bool{}
-	for r := range ownRefs {
-		vars[r] = true
-	}
+	vars := a.scratch.getSet()
+	defer a.scratch.putSet(vars)
+	vars.UnionWith(ownRefs)
 	for _, s := range subs {
 		if gs := a.graphs[s.ID]; gs != nil {
 			for _, r := range gs.Regs() {
-				vars[r] = true
+				vars.Add(int(r))
 			}
 		}
 	}
@@ -89,15 +86,16 @@ func (a *allocator) buildRegionGraph(V *ir.Region) *ig.Graph {
 	// entrance to V interferes with everything referenced in V's own
 	// code.
 	parentNodes := gv.Nodes()
-	for _, vk := range sortRegs(vars) {
-		if ownRefs[vk] || !liveIn[vk] {
-			continue
+	vars.ForEach(func(ri int) {
+		vk := ir.Reg(ri)
+		if ownRefs.Has(ri) || !liveIn.Has(ri) {
+			return
 		}
 		nk := gv.Ensure(vk)
 		for _, n := range parentNodes {
 			gv.AddNodeEdge(nk, n)
 		}
-	}
+	})
 	// Step 2: incorporate each subregion's combined graph.
 	for _, s := range subs {
 		gs := a.graphs[s.ID]
@@ -126,21 +124,23 @@ func (a *allocator) buildRegionGraph(V *ir.Region) *ig.Graph {
 		// subregion but not referenced in it interferes with every node
 		// of the subregion's graph.
 		liveInSub := a.liveAtEntry(s)
-		for _, vk := range sortRegs(vars) {
-			if gs.NodeOf(vk) != nil || !liveInSub[vk] {
-				continue
+		vars.ForEach(func(ri int) {
+			vk := ir.Reg(ri)
+			if gs.NodeOf(vk) != nil || !liveInSub.Has(ri) {
+				return
 			}
 			nk := gv.Ensure(vk)
 			for _, n := range gs.Nodes() {
 				gv.AddNodeEdge(nk, resolve(n))
 			}
-		}
+		})
 	}
 
 	// Mark nodes containing a register global to V (referenced outside
 	// the region): these may never share a colour with another global
 	// node (§3.1.3).
 	inSpan := a.refsInSpan(span)
+	defer a.scratch.putCounts(inSpan)
 	for _, n := range gv.Nodes() {
 		n.Global = false
 		for _, r := range n.Regs {
@@ -156,13 +156,4 @@ func (a *allocator) buildRegionGraph(V *ir.Region) *ig.Graph {
 		a.stats.Coalesced += regalloc.CoalesceConservative(a.f.Instrs[span.Start:span.End], gv, a.k, true, nil)
 	}
 	return gv
-}
-
-func sortRegs(set map[ir.Reg]bool) []ir.Reg {
-	out := make([]ir.Reg, 0, len(set))
-	for r := range set {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }

@@ -25,20 +25,36 @@ func (a *allocator) calcSpillCosts(V *ir.Region, gv *ig.Graph) {
 	nodes := gv.Nodes()
 	spilled := a.spilledIn[V.ID]
 
-	// Per-child reference counts, shared by the subregion-locality rule.
-	childRefs := make([]map[ir.Reg]int, len(V.Children))
-	for i, s := range V.Children {
+	// Subregion-locality rule, one child at a time so a single counts
+	// scratch buffer serves every child.
+	local := make([]bool, len(nodes))
+	for _, s := range V.Children {
 		span := a.spans[s.ID]
-		if !span.Empty() {
-			childRefs[i] = a.refsInSpan(span)
+		if span.Empty() {
+			continue
 		}
+		counts := a.refsInSpan(span)
+		for ni, n := range nodes {
+			if local[ni] {
+				continue
+			}
+			all := true
+			for _, r := range n.Regs {
+				if c := counts.get(r); c == 0 || a.totalRefs[r] > c {
+					all = false
+					break
+				}
+			}
+			local[ni] = all
+		}
+		a.scratch.putCounts(counts)
 	}
 
 	// Infinite-cost rules.
 	finite := make([]*ig.Node, 0, len(nodes))
-	for _, n := range nodes {
+	for ni, n := range nodes {
 		n.SpillCost = 0
-		if a.nodeLocalToSomeSubregion(childRefs, n) || a.nodeAlreadySpilled(n, spilled) {
+		if local[ni] || a.nodeAlreadySpilled(n, spilled) {
 			n.SpillCost = ig.Infinity
 			continue
 		}
@@ -72,10 +88,10 @@ func (a *allocator) calcSpillCosts(V *ir.Region, gv *ig.Graph) {
 			}
 			in, out := false, false
 			for _, r := range n.Regs {
-				if liveIn[r] && used[r] {
+				if liveIn.Has(int(r)) && used.Has(int(r)) {
 					in = true
 				}
-				if liveOut[r] && defined[r] {
+				if liveOut.Has(int(r)) && defined.Has(int(r)) {
 					out = true
 				}
 			}
@@ -86,6 +102,9 @@ func (a *allocator) calcSpillCosts(V *ir.Region, gv *ig.Graph) {
 				n.SpillCost++
 			}
 		}
+		a.scratch.putSet(liveOut)
+		a.scratch.putSet(used)
+		a.scratch.putSet(defined)
 	}
 
 	// Degrees, with the global-pair increment.
@@ -107,28 +126,6 @@ func (a *allocator) calcSpillCosts(V *ir.Region, gv *ig.Graph) {
 		}
 		n.SpillCost /= float64(deg)
 	}
-}
-
-// nodeLocalToSomeSubregion reports whether one subregion of V contains
-// every reference of every member register of n. childRefs holds each
-// child's per-register reference counts (nil for empty children).
-func (a *allocator) nodeLocalToSomeSubregion(childRefs []map[ir.Reg]int, n *ig.Node) bool {
-	for _, counts := range childRefs {
-		if counts == nil {
-			continue
-		}
-		all := true
-		for _, r := range n.Regs {
-			if counts[r] == 0 || a.totalRefs[r] > counts[r] {
-				all = false
-				break
-			}
-		}
-		if all {
-			return true
-		}
-	}
-	return false
 }
 
 // nodeAlreadySpilled reports whether any member of n descends from a

@@ -56,6 +56,25 @@ func (m *MapMemo) Len() int {
 	return len(m.m)
 }
 
+// Item is one stored artifact, as returned by Items.
+type Item struct {
+	Key string
+	Val []byte
+}
+
+// Items returns copies of the stored artifacts sorted by key — for tests
+// and tools that compare or replicate a store's contents.
+func (m *MapMemo) Items() []Item {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Item, 0, len(m.m))
+	for k, v := range m.m {
+		out = append(out, Item{Key: k, Val: append([]byte(nil), v...)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // MemoSalt renders k and every allocation-determining option as a
 // canonical string. It is folded into each region fingerprint so
 // artifacts recorded under one configuration can never be served to
@@ -266,14 +285,17 @@ func (a *allocator) memoLookup(V *ir.Region) (*ig.Graph, bool) {
 	defer a.opts.Trace.StartTimer("rap.phase.memo")()
 	key := a.hasher.Region(V)
 	a.memoKeys[V.ID] = key
-	data, ok := a.opts.Memo.Get(key.Fp.String())
+	data, ok := a.memoGet(key.Fp.String())
 	if !ok {
-		a.stats.MemoMisses++
+		a.memoMiss(key.Fp.String())
 		return nil, false
 	}
 	g, ok := decodeSummary(data, &key, a.k)
 	if !ok {
-		a.stats.MemoMisses++
+		// A corrupt or stale artifact counts as a missed key too: the
+		// sequential walk would re-record over it, and a sibling doing so
+		// during this batch must invalidate this shard's speculation.
+		a.memoMiss(key.Fp.String())
 		return nil, false
 	}
 	a.stats.MemoHits++
@@ -301,7 +323,37 @@ func (a *allocator) memoRecord(V *ir.Region, sum *ig.Graph) {
 	if !ok {
 		return
 	}
+	if a.speculative {
+		// Speculative shards never write the store: puts buffer on the
+		// shard's pending chain and reach the store — counting MemoStores
+		// there — only when the deterministic join commits the shard.
+		a.pending.put(key.Fp.String(), data)
+		return
+	}
 	if a.opts.Memo.Put(key.Fp.String(), data) == nil {
 		a.stats.MemoStores++
+	}
+}
+
+// memoGet reads through this allocator's pending-put chain (non-empty
+// only under speculation) before the real store, so a shard observes its
+// own deferred stores exactly as the sequential walk would observe real
+// ones.
+func (a *allocator) memoGet(key string) ([]byte, bool) {
+	if a.pending != nil {
+		if v, ok := a.pending.get(key); ok {
+			return v, true
+		}
+	}
+	return a.opts.Memo.Get(key)
+}
+
+// memoMiss counts a failed lookup and, under speculation, records the key
+// so the join can detect that an earlier-committed sibling stored it —
+// which invalidates this shard's miss (see allocator.invalidated).
+func (a *allocator) memoMiss(key string) {
+	a.stats.MemoMisses++
+	if a.speculative {
+		a.missed = append(a.missed, key)
 	}
 }

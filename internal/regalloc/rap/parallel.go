@@ -1,0 +1,309 @@
+package rap
+
+import (
+	"errors"
+
+	"repro/internal/canon"
+	"repro/internal/ig"
+	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// This file holds the intra-function parallel walk (Options.IntraParallel):
+// a bounded tree-DAG scheduler inside the Fig. 2 bottom-up pass. Sibling
+// region subtrees are independent by construction — each child is fully
+// summarized before its parent is coloured, and a child's allocation reads
+// only the shared analysis state (instructions, CFG, liveness, spans,
+// reference counts), never its siblings' — so siblings fan out to a worker
+// pool and join at the parent in region-index order.
+//
+// The one dependence that can appear at run time is a spill: inserting
+// spill code edits the shared instruction list and forces reanalysis,
+// which would invalidate every concurrently running sibling. The walk is
+// therefore *speculative*: each child runs in a forked allocator shard
+// that aborts with errSpeculativeSpill the moment the colourer demands
+// spill code, strictly before any shared-state mutation, spill event or
+// counter. The deterministic join commits the spill-free prefix in child
+// order and replays the first aborted child through the ordinary
+// sequential path — which, starting from the identical analysis state,
+// reproduces the identical spill decision — then re-batches the remaining
+// siblings against the post-spill analysis. The result (allocation, memo
+// traffic, deterministic metrics, trace event order) is byte-identical to
+// the sequential walk's; only the wall clock changes.
+
+// errSpeculativeSpill is the sentinel a speculative shard returns instead
+// of inserting spill code. It is raised before the shard emits any spill
+// event or touches any shared state, so an aborted shard leaves no trace.
+var errSpeculativeSpill = errors.New("rap: speculative subtree needs spill code")
+
+// intraSched is the function-wide bounded pool behind the parallel walk.
+// The semaphore holds workers-1 slots: the caller's own goroutine is the
+// implicit extra worker, running a shard inline whenever the pool is
+// full. Acquisition never blocks (tryAcquire), so nested fan-out — a
+// shard batching its own children — cannot deadlock the pool: a shard
+// that finds no free slot simply degrades to sequential execution in its
+// parent's goroutine.
+type intraSched struct{ sem chan struct{} }
+
+func newIntraSched(workers int) *intraSched {
+	return &intraSched{sem: make(chan struct{}, workers-1)}
+}
+
+func (s *intraSched) tryAcquire() bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *intraSched) release() { <-s.sem }
+
+// memoPut is one deferred memo store: memoRecord calls made while
+// speculative buffer here and reach the real store only when the shard
+// commits, in the shard's own put order.
+type memoPut struct {
+	key  string
+	data []byte
+}
+
+// pendingMemo chains a shard's deferred memo puts to its parent shard's.
+// Lookups walk the chain before consulting the real store, so a shard
+// sees every put its own subtree (and committed ancestors) produced, and
+// an uncommitted shard's puts never leak anywhere.
+type pendingMemo struct {
+	parent *pendingMemo
+	order  []memoPut
+	byKey  map[string][]byte
+}
+
+func (p *pendingMemo) put(key string, data []byte) {
+	if p.byKey == nil {
+		p.byKey = map[string][]byte{}
+	}
+	p.order = append(p.order, memoPut{key: key, data: data})
+	p.byKey[key] = data
+}
+
+func (p *pendingMemo) get(key string) ([]byte, bool) {
+	for q := p; q != nil; q = q.parent {
+		if v, ok := q.byKey[key]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// fork clones a into a speculative shard for one subtree: shared
+// *read-only* views of the function, analysis results, spiller and region
+// memo hasher; private graphs, stats, scratch buffers, deferred memo puts
+// and a buffered trace fork, so nothing the shard does is observable until
+// the join commits it.
+func (a *allocator) fork() (*allocator, *obs.SpecFork) {
+	spec := a.opts.Trace.ForkBuffered()
+	sh := &allocator{
+		f:    a.f,
+		k:    a.k,
+		opts: a.opts,
+		sp:   a.sp,
+
+		graphs:    map[int]*ig.Graph{},
+		spilledIn: a.spilledIn,
+
+		g:         a.g,
+		lv:        a.lv,
+		du:        a.du,
+		spans:     a.spans,
+		totalRefs: a.totalRefs,
+
+		hasher: a.hasher,
+
+		scratch:     &regScratch{n: a.scratch.n},
+		sched:       a.sched,
+		speculative: true,
+		pending:     &pendingMemo{parent: a.pending},
+		spec:        spec,
+	}
+	if sh.hasher != nil {
+		sh.memoKeys = map[int]canon.RegionKey{}
+	}
+	sh.opts.Trace = spec.T
+	return sh, spec
+}
+
+// shardRun is one in-flight speculative subtree allocation.
+type shardRun struct {
+	sh       *allocator
+	spec     *obs.SpecFork
+	err      error
+	panicked any
+	done     chan struct{}
+}
+
+// startShard forks a shard for subtree c and runs it — on a pool
+// goroutine when a slot is free, inline in the caller's goroutine
+// otherwise. A panic inside the shard is captured and re-raised at the
+// join, in the caller's goroutine, so per-function panic isolation
+// (rapserved's job recovery) keeps working under the parallel walk.
+func (a *allocator) startShard(c *ir.Region) *shardRun {
+	sh, spec := a.fork()
+	r := &shardRun{sh: sh, spec: spec, done: make(chan struct{})}
+	run := func() {
+		defer close(r.done)
+		defer func() { r.panicked = recover() }()
+		r.err = sh.allocateRegion(c)
+	}
+	if a.sched.tryAcquire() {
+		go func() {
+			defer a.sched.release()
+			run()
+		}()
+	} else {
+		run()
+	}
+	return r
+}
+
+// allocateChildren allocates V's subregions: the paper's sequential loop
+// when the parallel walk is off or only one child remains, speculative
+// batches with deterministic joins otherwise. A batch that hits a spill
+// consumes the children up to and including the spilled one, and the
+// remainder re-batches against the freshly reanalyzed function.
+func (a *allocator) allocateChildren(V *ir.Region) error {
+	kids := V.Children
+	if a.sched != nil {
+		for len(kids) > 1 {
+			n, err := a.allocateBatch(kids)
+			if err != nil {
+				return err
+			}
+			kids = kids[n:]
+		}
+	}
+	for _, s := range kids {
+		if err := a.allocateRegion(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocateBatch speculatively allocates kids concurrently and joins them
+// in child order. It returns how many children were consumed: len(kids)
+// when every subtree committed, i+1 when child i had to replay through
+// the sequential spill path (children after i were discarded untouched
+// and must re-run against the new analysis).
+func (a *allocator) allocateBatch(kids []*ir.Region) (int, error) {
+	runs := make([]*shardRun, len(kids))
+	for i, c := range kids {
+		runs[i] = a.startShard(c)
+	}
+	// Barrier: every shard must finish before anything commits. The
+	// sequential replay below may edit instructions and reanalyze, and a
+	// straggler still reading the shared analysis would race with that.
+	for _, r := range runs {
+		<-r.done
+	}
+	// Deterministic join: children commit in region-index order, exactly
+	// as the sequential loop would have produced them, regardless of the
+	// order the shards actually finished in.
+	for i, r := range runs {
+		if r.panicked != nil {
+			panic(r.panicked)
+		}
+		rerun := false
+		switch {
+		case errors.Is(r.err, errSpeculativeSpill):
+			// The subtree needs spill code, which speculation must not
+			// write. Replay it sequentially below: the analysis state is
+			// identical to what the shard saw, so the replay makes the
+			// identical decisions — including the same spills, now for
+			// real.
+			rerun = true
+		case r.err != nil:
+			return 0, r.err
+		default:
+			// A shard that missed a memo key an earlier-committed sibling
+			// has since stored ran on stale speculation: the sequential
+			// walk would have hit. Discard it and re-run; the re-run sees
+			// the key and reproduces the sequential hit (identical graphs
+			// either way — artifacts are content-addressed — but the
+			// hit/miss accounting must match too).
+			rerun = a.invalidated(r.sh.missed)
+		}
+		if rerun {
+			rounds := a.stats.SpillRounds
+			if err := a.allocateRegion(kids[i]); err != nil {
+				return 0, err
+			}
+			if a.stats.SpillRounds != rounds {
+				// The replay inserted spill code and reanalyzed; every
+				// later shard read now-stale analysis. Consume through i
+				// and let the caller re-batch the rest.
+				return i + 1, nil
+			}
+			continue
+		}
+		a.commitShard(r)
+	}
+	return len(kids), nil
+}
+
+// invalidated reports whether any memo key the shard failed to find is
+// available now — i.e. an earlier-committed sibling (or, nested, an
+// ancestor's pending chain) stored it during this batch's join, meaning
+// the sequential walk would have hit where the speculation missed.
+func (a *allocator) invalidated(missed []string) bool {
+	for _, k := range missed {
+		if a.pending != nil {
+			if _, ok := a.pending.get(k); ok {
+				return true
+			}
+		}
+		if a.opts.Memo != nil {
+			if _, ok := a.opts.Memo.Get(k); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commitShard lands a finished shard in the parent: buffered trace events
+// replay to the real sinks and forked metrics merge (obs.SpecFork),
+// stats add in, subtree summary graphs move over (region ids are disjoint
+// across sibling subtrees), and deferred memo puts apply — to the real
+// store when this allocator is the root (counting MemoStores exactly
+// where the sequential walk would), or onto this shard's own pending
+// chain when the commit itself is nested inside a speculation.
+func (a *allocator) commitShard(r *shardRun) {
+	r.spec.Commit()
+	a.absorbStats(r.sh.stats)
+	for id, g := range r.sh.graphs {
+		a.graphs[id] = g
+	}
+	for _, p := range r.sh.pending.order {
+		if a.speculative {
+			a.pending.put(p.key, p.data)
+		} else if a.opts.Memo.Put(p.key, p.data) == nil {
+			a.stats.MemoStores++
+		}
+	}
+	if a.speculative {
+		a.missed = append(a.missed, r.sh.missed...)
+	}
+}
+
+// absorbStats adds a committed shard's counters into the parent's. Only
+// fields the bottom-up walk touches appear; phases 2 and 3 run strictly
+// after the walk, on the root allocator.
+func (a *allocator) absorbStats(s Stats) {
+	a.stats.SpillRounds += s.SpillRounds
+	a.stats.RegsSpilled += s.RegsSpilled
+	a.stats.Coalesced += s.Coalesced
+	a.stats.Rematerialized += s.Rematerialized
+	a.stats.MemoHits += s.MemoHits
+	a.stats.MemoMisses += s.MemoMisses
+	a.stats.MemoStores += s.MemoStores
+}

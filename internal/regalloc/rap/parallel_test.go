@@ -1,0 +1,204 @@
+package rap_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/regalloc/rap"
+)
+
+// allocTraced allocates a clone of f with a fresh collector and metrics
+// registry attached, returning the rewritten text, the stats, the
+// deterministic metrics snapshot and the trace event signature sequence.
+func allocTraced(t *testing.T, f *ir.Function, k int, opts rap.Options) (string, rap.Stats, obs.Snapshot, []string, error) {
+	t.Helper()
+	col := &obs.Collector{}
+	opts.Trace = obs.New(col).WithMetrics(obs.NewMetrics())
+	g := f.Clone()
+	st, err := rap.AllocateWithStats(g, k, opts)
+	sigs := make([]string, 0, len(col.Events()))
+	for _, ev := range col.Events() {
+		sigs = append(sigs, eventSig(ev))
+	}
+	return g.String(), st, opts.Trace.Metrics().Snapshot().Deterministic(), sigs, err
+}
+
+// eventSig renders an event deterministically: SpanEnd carries a
+// wall-clock duration, so only its phase participates in the comparison;
+// every other event is fully deterministic and compares in full.
+func eventSig(ev obs.Event) string {
+	if se, ok := ev.(*obs.SpanEnd); ok {
+		return "SpanEnd:" + se.Phase
+	}
+	b, err := obs.Encode(ev)
+	if err != nil {
+		return "encode-error:" + err.Error()
+	}
+	return string(b)
+}
+
+// diffIntra allocates f sequentially and with the intra-parallel walk at
+// each worker count, asserting the code, the stats, the deterministic
+// metrics snapshot and the trace event sequence are all identical. base
+// must not set Trace or IntraParallel.
+func diffIntra(t *testing.T, seed int64, f *ir.Function, k int, workers []int, base rap.Options) rap.Stats {
+	t.Helper()
+	// Every run — the sequential reference included — gets its own copy
+	// of the store, so hit/miss/store accounting starts from the identical
+	// state for each and no run sees another's writes.
+	seqOpts := base
+	if base.Memo != nil {
+		seqOpts.Memo = cloneMemo(t, base.Memo.(*rap.MapMemo))
+	}
+	wantText, wantSt, wantSnap, wantEvs, wantErr := allocTraced(t, f, k, seqOpts)
+	for _, w := range workers {
+		opts := base
+		opts.IntraParallel = w
+		if base.Memo != nil {
+			opts.Memo = cloneMemo(t, base.Memo.(*rap.MapMemo))
+		}
+		gotText, gotSt, gotSnap, gotEvs, gotErr := allocTraced(t, f, k, opts)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("seed %d func %s k=%d workers=%d: error divergence: seq=%v par=%v",
+				seed, f.Name, k, w, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if wantText != gotText {
+			t.Fatalf("seed %d func %s k=%d workers=%d: parallel allocation differs:\n--- seq ---\n%s\n--- par ---\n%s",
+				seed, f.Name, k, w, wantText, gotText)
+		}
+		if wantSt != gotSt {
+			t.Fatalf("seed %d func %s k=%d workers=%d: stats diverge:\nseq: %+v\npar: %+v",
+				seed, f.Name, k, w, wantSt, gotSt)
+		}
+		if !reflect.DeepEqual(wantSnap, gotSnap) {
+			t.Fatalf("seed %d func %s k=%d workers=%d: deterministic metrics diverge:\nseq: %+v\npar: %+v",
+				seed, f.Name, k, w, wantSnap, gotSnap)
+		}
+		if len(wantEvs) != len(gotEvs) {
+			t.Fatalf("seed %d func %s k=%d workers=%d: event count diverges: seq=%d par=%d\nseq:\n%s\npar:\n%s",
+				seed, f.Name, k, w, len(wantEvs), len(gotEvs),
+				strings.Join(wantEvs, "\n"), strings.Join(gotEvs, "\n"))
+		}
+		for i := range wantEvs {
+			if wantEvs[i] != gotEvs[i] {
+				t.Fatalf("seed %d func %s k=%d workers=%d: event %d diverges:\nseq: %s\npar: %s",
+					seed, f.Name, k, w, i, wantEvs[i], gotEvs[i])
+			}
+		}
+	}
+	return wantSt
+}
+
+// cloneMemo copies a MapMemo so a run can consume (and extend) the warm
+// state without the next run seeing its writes.
+func cloneMemo(t *testing.T, m *rap.MapMemo) *rap.MapMemo {
+	t.Helper()
+	out := rap.NewMapMemo()
+	for _, kv := range m.Items() {
+		if err := out.Put(kv.Key, kv.Val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestIntraParallelDifferential is the tentpole's acceptance test: across
+// ≥200 randomly generated functions, k ∈ {3,5,7,9} and worker counts
+// {1,2,8}, the intra-parallel bottom-up walk produces byte-identical
+// allocations, stats, deterministic metrics snapshots and trace event
+// sequences — with the region memo off, cold, and warm. Low k forces
+// spill aborts and sequential replays; deep randprog trees force nested
+// batches; duplicate sibling subtrees force memo-invalidation re-runs.
+func TestIntraParallelDifferential(t *testing.T) {
+	workers := []int{1, 2, 8}
+	for _, k := range []int{3, 5, 7, 9} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			t.Parallel()
+			funcs := memoCorpus(t, 110, func(seed int64, f *ir.Function) {
+				diffIntra(t, seed, f, k, workers, rap.Options{})
+			})
+			if funcs < 200 {
+				t.Fatalf("corpus has %d functions, want >= 200", funcs)
+			}
+		})
+	}
+	t.Run("memo", func(t *testing.T) {
+		t.Parallel()
+		const k = 5
+		warm := rap.NewMapMemo()
+		hits, stores := 0, 0
+		memoCorpus(t, 60, func(seed int64, f *ir.Function) {
+			// Cold: both walks start from the corpus-wide warm store, so
+			// cross-function reuse and first-sight recording both happen.
+			st := diffIntra(t, seed, f, k, workers, rap.Options{Memo: warm})
+			// Advance the shared store the way the sequential run did, then
+			// diff again fully warm (every subtree already recorded).
+			if _, err := rap.AllocateWithStats(f.Clone(), k, rap.Options{Memo: warm}); err == nil {
+				st2 := diffIntra(t, seed, f, k, workers, rap.Options{Memo: warm})
+				hits += st2.MemoHits
+			}
+			stores += st.MemoStores
+		})
+		if stores == 0 {
+			t.Fatal("no summaries were ever recorded")
+		}
+		if hits == 0 {
+			t.Fatal("warm passes never hit the memo")
+		}
+	})
+}
+
+// TestIntraParallelMemoStoreState: after a cold run, the sequential and
+// parallel walks must have written the *same* store — same keys, same
+// artifacts — or warm reuse would diverge between deployments that
+// differ only in worker count.
+func TestIntraParallelMemoStoreState(t *testing.T) {
+	memoCorpus(t, 25, func(seed int64, f *ir.Function) {
+		seqMemo, parMemo := rap.NewMapMemo(), rap.NewMapMemo()
+		_, err1 := rap.AllocateWithStats(f.Clone(), 5, rap.Options{Memo: seqMemo})
+		_, err2 := rap.AllocateWithStats(f.Clone(), 5, rap.Options{Memo: parMemo, IntraParallel: 8})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("seed %d func %s: error divergence: %v vs %v", seed, f.Name, err1, err2)
+		}
+		seqItems, parItems := seqMemo.Items(), parMemo.Items()
+		if len(seqItems) != len(parItems) {
+			t.Fatalf("seed %d func %s: store size diverges: seq=%d par=%d",
+				seed, f.Name, len(seqItems), len(parItems))
+		}
+		for i := range seqItems {
+			if seqItems[i].Key != parItems[i].Key || string(seqItems[i].Val) != string(parItems[i].Val) {
+				t.Fatalf("seed %d func %s: store content diverges at %d: %q vs %q",
+					seed, f.Name, i, seqItems[i].Key, parItems[i].Key)
+			}
+		}
+	})
+}
+
+// TestIntraParallelRaceSmoke is the -race regression for the concurrent
+// walk: memo on (shared warm store), tracing and metrics on, worker
+// counts beyond the host's cores, repeated so shards really interleave.
+// It stays small enough for the CI -short -race matrix.
+func TestIntraParallelRaceSmoke(t *testing.T) {
+	memo := rap.NewMapMemo()
+	memoCorpus(t, 12, func(seed int64, f *ir.Function) {
+		for _, w := range []int{2, 8} {
+			col := &obs.Collector{}
+			opts := rap.Options{
+				Memo:          memo,
+				IntraParallel: w,
+				Trace:         obs.New(col).WithMetrics(obs.NewMetrics()),
+			}
+			if _, err := rap.AllocateWithStats(f.Clone(), 4, opts); err != nil {
+				t.Fatalf("seed %d func %s workers=%d: %v", seed, f.Name, w, err)
+			}
+		}
+	})
+}

@@ -23,6 +23,7 @@ package rap
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/canon"
 	"repro/internal/cfg"
 	"repro/internal/dataflow"
@@ -68,6 +69,18 @@ type Options struct {
 	// recorded, and all memoization stops at the function's first spill
 	// edit, so memoized allocations are byte-identical to cold ones.
 	Memo Memo
+	// IntraParallel bounds the worker pool the bottom-up walk (Fig. 2)
+	// uses to allocate sibling region subtrees concurrently. Siblings
+	// are independent by construction — each child is summarized before
+	// its parent is coloured — so subtrees fan out speculatively and
+	// join at the parent in region-index order; a subtree that needs
+	// spill code aborts its speculation and replays sequentially (a
+	// spill edits the shared instruction list). The allocation, the
+	// deterministic metrics sections and the trace event stream are all
+	// byte-identical to the sequential walk's. 0 or 1 keeps the paper's
+	// sequential walk; the option never changes the result, only the
+	// wall clock, so it is excluded from MemoSalt and cache keys.
+	IntraParallel int
 }
 
 // Stats reports what each phase of a RAP allocation did.
@@ -125,6 +138,10 @@ func AllocateWithStats(f *ir.Function, k int, opts Options) (Stats, error) {
 		sp:        regalloc.NewSpiller(f),
 		graphs:    map[int]*ig.Graph{},
 		spilledIn: map[int]map[ir.Reg]bool{},
+		scratch:   &regScratch{},
+	}
+	if opts.IntraParallel > 1 {
+		a.sched = newIntraSched(opts.IntraParallel)
 	}
 	if err := a.reanalyze(); err != nil {
 		return Stats{}, err
@@ -225,6 +242,26 @@ type allocator struct {
 	hasher   *canon.Hasher
 	memoKeys map[int]canon.RegionKey
 
+	// scratch holds the reusable dense buffers behind the per-region
+	// helper sets and counts. Per-allocator: every speculative shard
+	// forks with its own.
+	scratch *regScratch
+
+	// Intra-function parallel walk state (see parallel.go). sched is the
+	// function-wide bounded worker pool, shared by root and shards.
+	// speculative marks a forked shard allocator: it must not mutate any
+	// shared state — a subtree that needs spill code aborts with
+	// errSpeculativeSpill instead of editing instructions, memo writes
+	// collect in pending instead of reaching the store, and trace/metrics
+	// buffer in spec until the deterministic join commits them. missed
+	// records memo keys the shard looked up without finding, so the join
+	// can detect speculation invalidated by an earlier sibling's store.
+	sched       *intraSched
+	speculative bool
+	pending     *pendingMemo
+	spec        *obs.SpecFork
+	missed      []string
+
 	stats Stats
 }
 
@@ -251,6 +288,7 @@ func (a *allocator) reanalyze() error {
 			a.totalRefs[d]++
 		}
 	}
+	a.scratch.resize(int(a.f.NextReg))
 	return nil
 }
 
@@ -261,10 +299,8 @@ func (a *allocator) allocateRegion(V *ir.Region) error {
 		a.graphs[V.ID] = g
 		return nil
 	}
-	for _, c := range V.Children {
-		if err := a.allocateRegion(c); err != nil {
-			return err
-		}
+	if err := a.allocateChildren(V); err != nil {
+		return err
 	}
 	isEntry := V.Parent == nil
 	for iter := 0; iter < a.opts.MaxIterations; iter++ {
@@ -293,6 +329,14 @@ func (a *allocator) allocateRegion(V *ir.Region) error {
 				a.memoRecord(V, sum)
 			}
 			return nil
+		}
+		// A speculative shard must not edit the instruction list (it is
+		// shared with concurrently running siblings): abort the
+		// speculation before emitting any spill event and let the join
+		// replay this subtree sequentially, where the identical analysis
+		// state reproduces the identical spill decision.
+		if a.speculative {
+			return errSpeculativeSpill
 		}
 		if a.opts.Trace.Enabled() {
 			for _, n := range res.Spilled {
@@ -375,13 +419,15 @@ func (a *allocator) refsAt(i int, buf []ir.Reg) []ir.Reg {
 }
 
 // refsInSpan counts, for every register, its references within span.
-func (a *allocator) refsInSpan(span ir.Span) map[ir.Reg]int {
-	counts := map[ir.Reg]int{}
+// The counter comes from the allocator's scratch pool; the caller
+// returns it with putCounts when done.
+func (a *allocator) refsInSpan(span ir.Span) *regCounts {
+	counts := a.scratch.getCounts()
 	var buf []ir.Reg
 	for i := span.Start; i < span.End; i++ {
 		buf = a.refsAt(i, buf[:0])
 		for _, r := range buf {
-			counts[r]++
+			counts.inc(r)
 		}
 	}
 	return counts
@@ -390,55 +436,60 @@ func (a *allocator) refsInSpan(span ir.Span) map[ir.Reg]int {
 // globalTo reports whether r has references outside span — the paper's
 // "global to the region" (§3.1: a register is local to a region if all its
 // references are inside).
-func (a *allocator) globalTo(r ir.Reg, inSpan map[ir.Reg]int) bool {
-	return a.totalRefs[r] > inSpan[r]
+func (a *allocator) globalTo(r ir.Reg, inSpan *regCounts) bool {
+	return a.totalRefs[r] > inSpan.get(r)
 }
+
+// emptyRegSet is the shared read-only set empty regions borrow.
+var emptyRegSet bitset.Set
 
 // liveAtEntry returns the registers live on entrance to region V. MiniC
 // regions are single-entry intervals, so this is the live-in set of the
-// first instruction.
-func (a *allocator) liveAtEntry(V *ir.Region) map[ir.Reg]bool {
+// first instruction — borrowed straight from the liveness analysis.
+// Callers must treat the set as read-only.
+func (a *allocator) liveAtEntry(V *ir.Region) *bitset.Set {
 	span := a.spans[V.ID]
-	out := map[ir.Reg]bool{}
 	if span.Empty() {
-		return out
+		return &emptyRegSet
 	}
-	a.lv.LiveIn[span.Start].ForEach(func(ri int) { out[ir.Reg(ri)] = true })
-	return out
+	return a.lv.LiveIn[span.Start]
 }
 
 // liveAtExit returns the registers live on some edge leaving region V.
-func (a *allocator) liveAtExit(V *ir.Region) map[ir.Reg]bool {
+// The set comes from the allocator's scratch pool; the caller returns it
+// with putSet when done.
+func (a *allocator) liveAtExit(V *ir.Region) *bitset.Set {
 	span := a.spans[V.ID]
-	out := map[ir.Reg]bool{}
+	out := a.scratch.getSet()
 	for i := span.Start; i < span.End; i++ {
 		for _, s := range a.g.InstrSuccs[i] {
 			if !span.Contains(s) {
-				a.lv.LiveIn[s].ForEach(func(ri int) { out[ir.Reg(ri)] = true })
+				out.UnionWith(a.lv.LiveIn[s])
 			}
 		}
 	}
 	return out
 }
 
-// usedIn / definedIn report use/def presence within a span.
-func (a *allocator) usedIn(span ir.Span) map[ir.Reg]bool {
-	out := map[ir.Reg]bool{}
+// usedIn / definedIn report use/def presence within a span. Both sets
+// come from the scratch pool and go back via putSet.
+func (a *allocator) usedIn(span ir.Span) *bitset.Set {
+	out := a.scratch.getSet()
 	var buf []ir.Reg
 	for i := span.Start; i < span.End; i++ {
 		buf = a.f.Instrs[i].Uses(buf[:0])
 		for _, u := range buf {
-			out[u] = true
+			out.Add(int(u))
 		}
 	}
 	return out
 }
 
-func (a *allocator) definedIn(span ir.Span) map[ir.Reg]bool {
-	out := map[ir.Reg]bool{}
+func (a *allocator) definedIn(span ir.Span) *bitset.Set {
+	out := a.scratch.getSet()
 	for i := span.Start; i < span.End; i++ {
 		if d := a.f.Instrs[i].Def(); d != ir.None {
-			out[d] = true
+			out.Add(int(d))
 		}
 	}
 	return out

@@ -162,7 +162,7 @@ func (a *allocator) spillReg(V *ir.Region, span ir.Span, v ir.Reg, edit *regallo
 		// value around the back edge — the paper's "load before the first
 		// use in the subregion".
 		pos, reexecutes := a.subregionEntryPos(sspan)
-		if usedInSub && a.liveAtEntry(s)[v] {
+		if usedInSub && a.liveAtEntry(s).Has(int(v)) {
 			a.loadBefore(edit, pos, vR, slot)
 		}
 		// Store after each definition whose value is needed outside the

@@ -62,6 +62,11 @@ type RunnerConfig struct {
 	// SlowJobLog receives the slow-job lines (nil disables the log even
 	// with a threshold set). Writes are serialized by the runner.
 	SlowJobLog io.Writer
+	// IntraParallel bounds RAP's intra-function worker pool for every
+	// job (rap.Options.IntraParallel; 0 or 1 keeps the sequential walk).
+	// Purely a wall-clock knob: results, and therefore the result cache,
+	// are unaffected.
+	IntraParallel int
 }
 
 func (cfg *RunnerConfig) fill() {
@@ -362,7 +367,7 @@ func (r *Runner) execute(ctx context.Context, job Job) Result {
 	var outcome *Outcome
 	err := fuzz.RunIsolated(ctx, timeout, func(cctx context.Context) error {
 		var uerr error
-		outcome, uerr = ExecuteJob(cctx, job, ExecOptions{Tracer: tr, Memo: r.memo})
+		outcome, uerr = ExecuteJob(cctx, job, ExecOptions{Tracer: tr, Memo: r.memo, IntraParallel: r.cfg.IntraParallel})
 		return uerr
 	})
 	if m := tr.Metrics(); m != nil {
