@@ -1,0 +1,248 @@
+// Command raploadgen drives a rapserved worker or a raprouter fleet
+// with a deterministic stream of synthetic allocation jobs and reports
+// latency quantiles, status counts and cache-hit economics — the
+// measurement half of the fleet story.
+//
+// Usage:
+//
+//	raploadgen -target http://127.0.0.1:8080 -jobs 5000 -concurrency 32
+//	raploadgen -target ... -seed 7 -ks 3,5,7,9 -dup 4   # every 4th job repeats one
+//
+// Jobs are randprog programs (mixed register-set sizes, deterministic
+// from -seed), so two runs with the same flags submit byte-identical
+// work. The report (schema rap/loadgen/v1, JSON on stdout) includes a
+// result digest: a SHA-256 over every job's (id, status, code, output,
+// ret) — byte-equal digests across a fleet run, a kill-a-worker run and
+// a single-node run prove the fleet changes scheduling, never results.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/randprog"
+	"repro/internal/serve"
+)
+
+// Report is the rap/loadgen/v1 JSON summary.
+type Report struct {
+	Schema      string         `json:"schema"`
+	Target      string         `json:"target"`
+	Jobs        int            `json:"jobs"`
+	Concurrency int            `json:"concurrency"`
+	Statuses    map[string]int `json:"statuses"`
+	Cached      int            `json:"cached"`
+	Retries     int            `json:"retries"`
+	DurationMS  int64          `json:"duration_ms"`
+	JobsPerSec  float64        `json:"jobs_per_sec"`
+	P50MS       float64        `json:"p50_ms"`
+	P90MS       float64        `json:"p90_ms"`
+	P99MS       float64        `json:"p99_ms"`
+	Digest      string         `json:"digest"`
+}
+
+func main() {
+	var (
+		target  = flag.String("target", "", "base URL of a rapserved worker or raprouter (required)")
+		jobs    = flag.Int("jobs", 1000, "number of jobs to submit")
+		conc    = flag.Int("concurrency", 16, "concurrent in-flight jobs")
+		seed    = flag.Int64("seed", 1, "randprog seed base (same seed = byte-identical job stream)")
+		ksFlag  = flag.String("ks", "3,5,7,9", "register set sizes, cycled across jobs")
+		dup     = flag.Int("dup", 4, "every Nth job duplicates an earlier one, exercising the caches (0 = all distinct)")
+		run     = flag.Bool("run", false, "also execute each allocated program on the interpreter")
+		alloc   = flag.String("allocator", "rap", "allocator for the generated jobs")
+		retries = flag.Int("retries", 100, "max attempts per job on 429/503/transport errors")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-request HTTP ceiling")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 || *target == "" {
+		fmt.Fprintln(os.Stderr, "usage: raploadgen -target URL [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base := strings.TrimRight(*target, "/")
+
+	var ks []int
+	for _, s := range strings.Split(*ksFlag, ",") {
+		var k int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &k); err != nil || k <= 0 {
+			log.Fatalf("raploadgen: bad -ks entry %q", s)
+		}
+		ks = append(ks, k)
+	}
+
+	// The job stream is a pure function of the flags: sources come from
+	// seeded randprog, ks cycle, and every -dup'th job re-submits the
+	// first job of its block (same source, same k — an exact cache-key
+	// duplicate).
+	cfg := randprog.DefaultConfig()
+	srcs := make([]string, *jobs)
+	jl := make([]serve.Job, *jobs)
+	runWanted := *run
+	for i := range jl {
+		k := ks[i%len(ks)]
+		if *dup > 1 && i%*dup == *dup-1 {
+			base := i - i%*dup
+			srcs[i] = srcs[base] // duplicate the whole cache key,
+			k = ks[base%len(ks)] // k included
+		} else {
+			srcs[i] = randprog.Generate(*seed*1_000_003+int64(i), cfg)
+		}
+		jl[i] = serve.Job{
+			ID:        fmt.Sprintf("lg-%06d", i),
+			Source:    srcs[i],
+			Allocator: *alloc,
+			K:         k,
+			Run:       &runWanted,
+		}
+	}
+
+	client := &http.Client{Timeout: *timeout, Transport: &http.Transport{MaxIdleConnsPerHost: *conc}}
+	type outcome struct {
+		res     serve.Result
+		dur     time.Duration
+		retries int
+	}
+	outs := make([]outcome, len(jl))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			for i := range work {
+				outs[i] = submit(client, base, jl[i], *retries, rng)
+			}
+		}(w)
+	}
+	start := time.Now()
+	for i := range jl {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := Report{
+		Schema:      "rap/loadgen/v1",
+		Target:      base,
+		Jobs:        *jobs,
+		Concurrency: *conc,
+		Statuses:    map[string]int{},
+		DurationMS:  wall.Milliseconds(),
+		JobsPerSec:  float64(*jobs) / wall.Seconds(),
+	}
+	durs := make([]time.Duration, 0, len(outs))
+	digest := sha256.New()
+	for _, o := range outs {
+		rep.Statuses[o.res.Status]++
+		if o.res.Cached {
+			rep.Cached++
+		}
+		rep.Retries += o.retries
+		durs = append(durs, o.dur)
+	}
+	// The digest covers only result content — never scheduling artifacts
+	// like duration or cache provenance — in ID order, so any two runs
+	// of the same job stream are comparable.
+	sorted := make([]outcome, len(outs))
+	copy(sorted, outs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].res.ID < sorted[j].res.ID })
+	for _, o := range sorted {
+		codeSum := sha256.Sum256([]byte(o.res.Code))
+		fmt.Fprintf(digest, "%s|%s|%d|%s|%s\n",
+			o.res.ID, o.res.Status, o.res.Ret, hex.EncodeToString(codeSum[:]), strings.Join(o.res.Output, "\x1f"))
+	}
+	rep.Digest = hex.EncodeToString(digest.Sum(nil))
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	q := func(p float64) float64 {
+		if len(durs) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(durs)-1))
+		return float64(durs[idx].Microseconds()) / 1000
+	}
+	rep.P50MS, rep.P90MS, rep.P99MS = q(0.50), q(0.90), q(0.99)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatalf("raploadgen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "raploadgen: %d jobs in %s (%.1f/s) p50=%.1fms p90=%.1fms p99=%.1fms cached=%d retries=%d statuses=%v\n",
+		rep.Jobs, wall.Round(time.Millisecond), rep.JobsPerSec, rep.P50MS, rep.P90MS, rep.P99MS, rep.Cached, rep.Retries, rep.Statuses)
+	if rep.Statuses[serve.StatusOK] != *jobs {
+		os.Exit(1) // lost or failed jobs: the soak assertion
+	}
+}
+
+// submit posts one job, retrying admission rejections (429/503) and
+// transport errors with jittered backoff — the client half of the
+// backpressure contract. Any decodable job result is final.
+func submit(client *http.Client, base string, job serve.Job, retries int, rng *rand.Rand) (o struct {
+	res     serve.Result
+	dur     time.Duration
+	retries int
+}) {
+	body, err := json.Marshal(job)
+	if err != nil {
+		o.res = serve.Result{ID: job.ID, Status: serve.StatusError, Error: err.Error()}
+		return o
+	}
+	start := time.Now()
+	defer func() { o.dur = time.Since(start) }()
+	for attempt := 0; ; attempt++ {
+		res, final := post(client, base, body)
+		if final {
+			res.ID = job.ID // aliasing-proof: trust our own correlation key
+			o.res = res
+			return o
+		}
+		if attempt >= retries {
+			o.res = serve.Result{ID: job.ID, Status: serve.StatusError,
+				Error: fmt.Sprintf("gave up after %d attempts: %s", attempt+1, res.Error)}
+			return o
+		}
+		o.retries++
+		backoff := time.Duration(5+rng.Intn(5*(attempt+1))) * time.Millisecond
+		if backoff > 250*time.Millisecond {
+			backoff = 250 * time.Millisecond
+		}
+		time.Sleep(backoff)
+	}
+}
+
+func post(client *http.Client, base string, body []byte) (serve.Result, bool) {
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.Result{Status: serve.StatusError, Error: err.Error()}, false
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return serve.Result{Status: serve.StatusError, Error: err.Error()}, false
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		return serve.Result{Status: serve.StatusError, Error: fmt.Sprintf("HTTP %d", resp.StatusCode)}, false
+	}
+	var res serve.Result
+	if err := json.Unmarshal(raw, &res); err != nil || res.Status == "" {
+		return serve.Result{Status: serve.StatusError,
+			Error: fmt.Sprintf("undecodable response (HTTP %d)", resp.StatusCode)}, false
+	}
+	return res, true
+}

@@ -39,9 +39,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -63,6 +65,8 @@ func main() {
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		slowJob    = flag.Duration("slow-job", 0, "log a structured line to stderr for any job slower than this (0 = disabled)")
 		intraPar   = flag.Int("intra-parallel", 0, "worker pool for RAP's intra-function parallel walk (0 or 1 = sequential; results are identical either way)")
+		peers      = flag.String("peers", "", "comma-separated base URLs of ring peers (this worker excluded); on a local cache/memo miss their artifact stores are consulted before recomputing")
+		peerWait   = flag.Duration("peer-timeout", 250*time.Millisecond, "per-request budget for one peer artifact fetch")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -121,6 +125,23 @@ func main() {
 		}()
 	}
 
+	// Ring peers form the fleet's read-only artifact tier: a local miss
+	// asks them before recomputing, so this worker warm-starts from
+	// whatever the rest of the fleet already allocated.
+	var peerSrc serve.PeerSource
+	if *peers != "" {
+		var urls []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				urls = append(urls, strings.TrimRight(p, "/"))
+			}
+		}
+		if len(urls) > 0 {
+			peerSrc = fleet.NewPeerClient(urls, fleet.PeerOptions{Timeout: *peerWait, Metrics: tracer.Metrics()})
+			log.Printf("rapserved: peer artifact tier over %d peers", len(urls))
+		}
+	}
+
 	runner := serve.NewRunner(serve.RunnerConfig{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -132,6 +153,7 @@ func main() {
 		SlowJobThreshold: *slowJob,
 		SlowJobLog:       os.Stderr,
 		IntraParallel:    *intraPar,
+		Peers:            peerSrc,
 	})
 
 	if *batch {

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// PeerClient is a worker's read-only view of its ring peers' artifact
+// stores — the serve.PeerSource implementation behind the fleet's
+// warm-start path. On a local result-cache or region-memo miss the
+// runner calls Fetch, which asks each peer's GET /v1/artifact endpoint
+// in a key-derived order until one answers.
+//
+// Fetch sits on the allocation hot path, so failures must be cheap: a
+// peer that errors (connection refused, timeout) is quarantined for
+// QuarantineFor and skipped until the window passes — a partitioned or
+// dead peer costs one timeout, not one per miss.
+type PeerClient struct {
+	peers   []string
+	client  *http.Client
+	metrics *obs.Metrics
+	// downUntil[i] is the unix-nano until which peers[i] is quarantined.
+	downUntil  []atomic.Int64
+	timeout    time.Duration
+	quarantine time.Duration
+}
+
+// PeerOptions configures a PeerClient.
+type PeerOptions struct {
+	// Timeout bounds each peer request (default 250ms — a peer fetch is
+	// a hot-path shortcut, never worth stalling a job for).
+	Timeout time.Duration
+	// QuarantineFor is how long a failing peer is skipped (default 2s).
+	QuarantineFor time.Duration
+	// Metrics receives fleet.peer.requests / fleet.peer.errors (nil is
+	// free; the hit/miss economics are counted by the serve layer).
+	Metrics *obs.Metrics
+	// Client overrides the HTTP client (tests; default pooled client).
+	Client *http.Client
+}
+
+// NewPeerClient builds a client over the given peer base URLs (this
+// worker excluded — a worker never fetches from itself).
+func NewPeerClient(peers []string, opts PeerOptions) *PeerClient {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 250 * time.Millisecond
+	}
+	if opts.QuarantineFor <= 0 {
+		opts.QuarantineFor = 2 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &PeerClient{
+		peers:      append([]string(nil), peers...),
+		client:     client,
+		metrics:    opts.Metrics,
+		downUntil:  make([]atomic.Int64, len(peers)),
+		timeout:    opts.Timeout,
+		quarantine: opts.QuarantineFor,
+	}
+}
+
+// Fetch implements serve.PeerSource: it returns the artifact stored
+// under the full store key on any reachable peer. The probe order
+// rotates with the key so a busy fleet spreads peer-fetch load instead
+// of hammering the first peer in everyone's list.
+func (p *PeerClient) Fetch(key string) ([]byte, bool) {
+	if len(p.peers) == 0 {
+		return nil, false
+	}
+	start := int(hash64(key) % uint64(len(p.peers)))
+	now := time.Now().UnixNano()
+	for i := 0; i < len(p.peers); i++ {
+		idx := (start + i) % len(p.peers)
+		if p.downUntil[idx].Load() > now {
+			continue
+		}
+		val, ok, err := p.fetchOne(p.peers[idx], key)
+		if err != nil {
+			p.metrics.Add("fleet.peer.errors", 1)
+			p.downUntil[idx].Store(now + p.quarantine.Nanoseconds())
+			continue
+		}
+		if ok {
+			return val, true
+		}
+	}
+	return nil, false
+}
+
+// fetchOne asks one peer. ok=false with err=nil is a clean 404 (the
+// peer is healthy, it just does not hold the key).
+func (p *PeerClient) fetchOne(peer, key string) ([]byte, bool, error) {
+	p.metrics.Add("fleet.peer.requests", 1)
+	req, err := http.NewRequest(http.MethodGet, peer+"/v1/artifact?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	// The deadline is the client's own, not any job's: the fetched
+	// artifact is useful to every future job even if the triggering one
+	// is cancelled.
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	resp, err := p.client.Do(req.WithContext(ctx))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		val, err := io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes+1))
+		if err != nil {
+			return nil, false, err
+		}
+		if len(val) > maxArtifactBytes {
+			return nil, false, fmt.Errorf("fleet: artifact for %q exceeds %d bytes", key, maxArtifactBytes)
+		}
+		return val, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("fleet: peer %s: HTTP %d", peer, resp.StatusCode)
+	}
+}
+
+// maxArtifactBytes bounds one fetched artifact (a serialized job result
+// or region summary; far below the store's own 1 GiB record ceiling).
+const maxArtifactBytes = 64 << 20

@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// artifactPeer serves GET /v1/artifact over a fixed key->value map,
+// counting requests — a rapserved artifact endpoint stand-in.
+func artifactPeer(t *testing.T, artifacts map[string]string, requests *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if requests != nil {
+			requests.Add(1)
+		}
+		if r.URL.Path != "/v1/artifact" {
+			http.NotFound(w, r)
+			return
+		}
+		val, ok := artifacts[r.URL.Query().Get("key")]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(val))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// keyStartingAt finds a key whose probe rotation begins at peer index
+// want — so tests can force the first fetch attempt onto a chosen peer.
+func keyStartingAt(npeers, want int) string {
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("result/part-%d", i)
+		if int(hash64(k)%uint64(npeers)) == want {
+			return k
+		}
+	}
+}
+
+// TestPeerFetchPartition: with one peer unreachable, a fetch whose
+// rotation starts at the dead peer still returns the artifact from the
+// live one — a partition costs one error, never a miss.
+func TestPeerFetchPartition(t *testing.T) {
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	deadURL := deadSrv.URL
+	deadSrv.Close() // partitioned: connection refused
+
+	key := keyStartingAt(2, 0) // rotation starts at peers[0] = dead
+	var liveReqs atomic.Int64
+	live := artifactPeer(t, map[string]string{key: "artifact-bytes"}, &liveReqs)
+
+	m := obs.NewMetrics()
+	pc := NewPeerClient([]string{deadURL, live.URL}, PeerOptions{
+		Timeout:       200 * time.Millisecond,
+		QuarantineFor: time.Hour,
+		Metrics:       m,
+	})
+	val, ok := pc.Fetch(key)
+	if !ok || string(val) != "artifact-bytes" {
+		t.Fatalf("Fetch through partition = %q, %v; want artifact from live peer", val, ok)
+	}
+	c := m.Snapshot().Counters
+	if c["fleet.peer.errors"] != 1 {
+		t.Errorf("fleet.peer.errors = %d, want 1 (the dead peer)", c["fleet.peer.errors"])
+	}
+
+	// The dead peer is now quarantined: further fetches that would start
+	// there skip straight to the live peer — one request, no new errors.
+	before := m.Snapshot().Counters["fleet.peer.requests"]
+	if _, ok := pc.Fetch(key); !ok {
+		t.Fatal("second fetch failed")
+	}
+	c = m.Snapshot().Counters
+	if got := c["fleet.peer.requests"] - before; got != 1 {
+		t.Errorf("quarantined fetch made %d requests, want 1 (live peer only)", got)
+	}
+	if c["fleet.peer.errors"] != 1 {
+		t.Errorf("quarantined fetch re-dialed the dead peer (errors = %d)", c["fleet.peer.errors"])
+	}
+}
+
+// TestPeerFetchMissAndHangingPeer: a clean 404 everywhere is a miss
+// without quarantine; a peer that hangs past the budget is treated
+// exactly like a dead one.
+func TestPeerFetchMissAndHangingPeer(t *testing.T) {
+	live := artifactPeer(t, map[string]string{"result/have": "v"}, nil)
+	pc := NewPeerClient([]string{live.URL}, PeerOptions{Timeout: 200 * time.Millisecond, Metrics: obs.NewMetrics()})
+	if _, ok := pc.Fetch("result/nope"); ok {
+		t.Error("missing key reported as hit")
+	}
+	if _, ok := pc.Fetch("result/have"); !ok {
+		t.Error("404 on one key must not poison the peer for others")
+	}
+
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(10 * time.Second):
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(hang.Close)
+	key := keyStartingAt(2, 0)
+	var liveReqs atomic.Int64
+	live2 := artifactPeer(t, map[string]string{key: "slowpath"}, &liveReqs)
+	m := obs.NewMetrics()
+	pc2 := NewPeerClient([]string{hang.URL, live2.URL}, PeerOptions{
+		Timeout: 100 * time.Millisecond, QuarantineFor: time.Hour, Metrics: m,
+	})
+	start := time.Now()
+	val, ok := pc2.Fetch(key)
+	if !ok || string(val) != "slowpath" {
+		t.Fatalf("Fetch past hanging peer = %q, %v", val, ok)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("fetch took %s — the hang budget did not bound it", el)
+	}
+	if c := m.Snapshot().Counters; c["fleet.peer.errors"] != 1 {
+		t.Errorf("fleet.peer.errors = %d, want 1 (the timeout)", c["fleet.peer.errors"])
+	}
+}

@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("key-%06d", i)
+	}
+	return ks
+}
+
+// TestRingDeterministicAcrossOrder: the ring is a pure function of the
+// worker *set* — argument order must not move a single key, or two
+// router instances booted from differently-ordered flag values would
+// disagree on placement.
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a, err := NewRing([]string{"http://w1", "http://w2", "http://w3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://w3", "http://w1", "http://w2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(500) {
+		la, lb := a.Lookup(k, 0), b.Lookup(k, 0)
+		if len(la) != len(lb) {
+			t.Fatalf("lookup lengths differ for %q", k)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("key %q: replica %d is %s on one ring, %s on the other", k, i, la[i], lb[i])
+			}
+		}
+	}
+}
+
+// TestRingBalance: with DefaultVNodes, no worker in a 3-node ring owns
+// a pathological share of a large uniform key space.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"http://w1", "http://w2", "http://w3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	n := 30000
+	for _, k := range keys(n) {
+		counts[r.Lookup(k, 1)[0]]++
+	}
+	for w, c := range counts {
+		share := float64(c) / float64(n)
+		if share < 0.20 || share > 0.48 {
+			t.Errorf("worker %s owns %.1f%% of keys, want roughly a third (%v)", w, 100*share, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: adding a fourth worker must move roughly a
+// quarter of the keys — and every moved key must move TO the new
+// worker. Any key that changes hands between two old workers would
+// orphan cached results for no reason.
+func TestRingMinimalDisruption(t *testing.T) {
+	old, err := NewRing([]string{"http://w1", "http://w2", "http://w3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing([]string{"http://w1", "http://w2", "http://w3", "http://w4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, moved := 10000, 0
+	for _, k := range keys(10000) {
+		was, is := old.Lookup(k, 1)[0], grown.Lookup(k, 1)[0]
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "http://w4" {
+			t.Fatalf("key %q moved %s -> %s, not to the new worker", k, was, is)
+		}
+	}
+	frac := float64(moved) / float64(n)
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("growing 3 -> 4 workers moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestRingLookupReplicas: Lookup(k, n) yields n distinct workers led by
+// the key's owner — the requeue sequence is an extension of the
+// single-owner answer, never a reshuffle.
+func TestRingLookupReplicas(t *testing.T) {
+	r, err := NewRing([]string{"http://w1", "http://w2", "http://w3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(200) {
+		all := r.Lookup(k, 0)
+		if len(all) != 3 {
+			t.Fatalf("Lookup(%q, 0) = %v, want all 3 workers", k, all)
+		}
+		seen := map[string]bool{}
+		for _, w := range all {
+			if seen[w] {
+				t.Fatalf("Lookup(%q, 0) repeats %s", k, w)
+			}
+			seen[w] = true
+		}
+		if owner := r.Lookup(k, 1); owner[0] != all[0] {
+			t.Fatalf("Lookup(%q, 1) = %s but full sequence starts with %s", k, owner[0], all[0])
+		}
+		if two := r.Lookup(k, 2); two[0] != all[0] || two[1] != all[1] {
+			t.Fatalf("Lookup(%q, 2) = %v is not a prefix of %v", k, two, all)
+		}
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty worker set accepted")
+	}
+	if _, err := NewRing([]string{"http://w1", "http://w1"}, 0); err == nil {
+		t.Error("duplicate worker accepted")
+	}
+}

@@ -37,6 +37,9 @@ type cache struct {
 	items map[string]*list.Element
 	m     *obs.Metrics
 	disk  resultStore // nil = memory only
+	// peer is the fleet tier behind disk: a read-only view of the ring
+	// peers' stores, consulted last so the local layers always win.
+	peer *peerGetter
 }
 
 type cacheEntry struct {
@@ -76,6 +79,23 @@ func (c *cache) get(key string) (Result, bool) {
 				c.putMem(key, res) // back into memory; no rewrite to disk
 				c.m.Add("serve.cache.hits", 1)
 				c.m.Add("serve.cache.disk_hits", 1)
+				return res, true
+			}
+		}
+	}
+	// Last tier: the fleet. A peer that already computed this job hands
+	// the result over; it re-enters memory and the local disk so the
+	// artifact propagates to wherever the ring now routes the key.
+	if c.peer != nil {
+		if raw, ok := c.peer.Get(key); ok {
+			var res Result
+			if err := json.Unmarshal(raw, &res); err == nil && res.Status == StatusOK {
+				c.putMem(key, res)
+				if c.disk != nil {
+					_ = c.disk.Put(key, raw)
+				}
+				c.m.Add("serve.cache.hits", 1)
+				c.m.Add("serve.cache.peer_hits", 1)
 				return res, true
 			}
 		}

@@ -1,0 +1,254 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestAutoIDReservedNamespace is the regression test for the ID
+// collision bug: runner-assigned IDs live in their own "auto-"
+// namespace, clients may not submit into it, and client IDs that used
+// to collide with the old job-<seq> scheme still work.
+func TestAutoIDReservedNamespace(t *testing.T) {
+	r := newTestRunner(t, serve.RunnerConfig{Workers: 1})
+
+	res, err := r.Do(context.Background(), serve.Job{Source: goodSrc, Allocator: "rap", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.ID, serve.AutoIDPrefix) {
+		t.Errorf("anonymous job ID = %q, want %s<n>", res.ID, serve.AutoIDPrefix)
+	}
+
+	res, err = r.Do(context.Background(), serve.Job{ID: serve.AutoIDPrefix + "1", Source: goodSrc, Allocator: "rap", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != serve.StatusInvalid {
+		t.Errorf("client job in reserved namespace: status %q, want invalid", res.Status)
+	}
+	if !strings.Contains(res.Error, serve.AutoIDPrefix) {
+		t.Errorf("rejection does not name the reserved namespace: %q", res.Error)
+	}
+
+	// "job-1" was the old auto-assigned shape; clients own it now.
+	res, err = r.Do(context.Background(), serve.Job{ID: "job-1", Source: goodSrc, Allocator: "rap", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != serve.StatusOK || res.ID != "job-1" {
+		t.Errorf("client ID job-1: status %q id %q, want ok/job-1", res.Status, res.ID)
+	}
+}
+
+// TestServerBodyLimit413 is the regression test for the unbounded-body
+// bug: requests past MaxBodyBytes answer 413 with a decodable error
+// body on both job endpoints.
+func TestServerBodyLimit413(t *testing.T) {
+	r := newTestRunner(t, serve.RunnerConfig{Workers: 1})
+	srv := serve.NewServer(r)
+	srv.MaxBodyBytes = 2048
+	front := httptest.NewServer(srv.Handler())
+	defer front.Close()
+
+	huge := serve.Job{ID: "big", Source: "int main() { return 0; } //" + strings.Repeat("x", 8192), Allocator: "rap", K: 5}
+	for _, ep := range []struct {
+		path string
+		body any
+	}{
+		{"/v1/jobs", huge},
+		{"/v1/batch", serve.BatchRequest{Jobs: []serve.Job{huge}}},
+	} {
+		resp, body := postJSON(t, front.URL+ep.path, ep.body)
+		if resp.StatusCode != 413 {
+			t.Errorf("%s: HTTP %d, want 413", ep.path, resp.StatusCode)
+		}
+		var eb struct {
+			Error  string `json:"error"`
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: 413 body not a JSON error: %v (%s)", ep.path, err, body)
+		}
+	}
+
+	// An honest job still fits comfortably under the same limit.
+	resp, body := postJSON(t, front.URL+"/v1/jobs", serve.Job{ID: "ok", Source: goodSrc, Allocator: "rap", K: 5})
+	if resp.StatusCode != 200 {
+		t.Fatalf("small job: HTTP %d (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestArtifactEndpoint: workers expose their persistent store read-only
+// under /v1/artifact — hit, miss, and method discipline.
+func TestArtifactEndpoint(t *testing.T) {
+	m := obs.NewMetrics()
+	s, err := store.Open(filepath.Join(t.TempDir(), "artifacts.log"), store.Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r := newTestRunner(t, serve.RunnerConfig{Workers: 1, Tracer: obs.New().WithMetrics(m), Store: s})
+	job := serve.Job{ID: "a", Source: goodSrc, Allocator: "rap", K: 5}
+	if res, err := r.Do(context.Background(), job); err != nil || res.Status != serve.StatusOK {
+		t.Fatalf("job: %v %+v", err, res)
+	}
+
+	front := httptest.NewServer(serve.NewServer(r).Handler())
+	defer front.Close()
+	key := "result/" + job.CacheKey()
+
+	resp, body := getURL(t, front.URL+"/v1/artifact?key="+key)
+	if resp.StatusCode != 200 {
+		t.Fatalf("artifact hit: HTTP %d", resp.StatusCode)
+	}
+	var res serve.Result
+	if err := json.Unmarshal(body, &res); err != nil || res.Status != serve.StatusOK {
+		t.Fatalf("artifact is not the persisted result: %v (%s)", err, body)
+	}
+
+	if resp, _ := getURL(t, front.URL+"/v1/artifact?key=result/absent"); resp.StatusCode != 404 {
+		t.Errorf("artifact miss: HTTP %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, front.URL+"/v1/artifact?key="+key, struct{}{}); resp.StatusCode != 405 {
+		t.Errorf("artifact POST: HTTP %d, want 405", resp.StatusCode)
+	}
+	if m.Snapshot().Counters["serve.artifact.served"] == 0 {
+		t.Error("serve.artifact.served not counted")
+	}
+}
+
+// storePeer satisfies serve.PeerSource straight off another worker's
+// store — the fleet tier with the HTTP hop removed.
+type storePeer struct{ s *store.Store }
+
+func (p storePeer) Fetch(key string) ([]byte, bool) { return p.s.Get(key) }
+
+// TestPeerWarmStartResultTier: worker B has never seen the job, but its
+// ring peer A holds the result — B serves it from the peer tier,
+// byte-identical and counted, without recomputing.
+func TestPeerWarmStartResultTier(t *testing.T) {
+	dir := t.TempDir()
+	mA := obs.NewMetrics()
+	sA, err := store.Open(filepath.Join(dir, "a.log"), store.Options{Metrics: mA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sA.Close()
+	rA := newTestRunner(t, serve.RunnerConfig{Workers: 1, Tracer: obs.New().WithMetrics(mA), Store: sA})
+	job := serve.Job{ID: "warm", Source: goodSrc, Allocator: "rap", K: 5}
+	first, err := rA.Do(context.Background(), job)
+	if err != nil || first.Status != serve.StatusOK {
+		t.Fatalf("worker A: %v %+v", err, first)
+	}
+
+	mB := obs.NewMetrics()
+	rB := newTestRunner(t, serve.RunnerConfig{
+		Workers: 1,
+		Tracer:  obs.New().WithMetrics(mB),
+		Peers:   storePeer{sA},
+	})
+	second, err := rB.Do(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Status != serve.StatusOK || !second.Cached {
+		t.Fatalf("worker B: status %q cached=%v, want ok from the peer tier", second.Status, second.Cached)
+	}
+	if second.Code != first.Code || second.Ret != first.Ret {
+		t.Fatal("peer-served result differs from the origin result")
+	}
+	c := mB.Snapshot().Counters
+	if c["fleet.peer.hits"] == 0 {
+		t.Errorf("fleet.peer.hits = 0: %v", c)
+	}
+	if c["serve.cache.peer_hits"] == 0 {
+		t.Errorf("serve.cache.peer_hits = 0: %v", c)
+	}
+
+	// The peer hit wrote through to B's memory cache: a re-ask is a
+	// local hit, no new peer traffic.
+	before := c["fleet.peer.requests"] + c["fleet.peer.hits"] + c["fleet.peer.misses"]
+	if res, _ := rB.Do(context.Background(), job); !res.Cached {
+		t.Fatal("second ask on B not cached")
+	}
+	c = mB.Snapshot().Counters
+	if after := c["fleet.peer.requests"] + c["fleet.peer.hits"] + c["fleet.peer.misses"]; after != before {
+		t.Error("write-through failed: the re-ask went back to the peer")
+	}
+}
+
+// TestPeerWarmStartMemoTier: with the result cache disabled, worker B
+// must recompute — but its allocation walk pulls region summaries from
+// peer A's store, so the expensive work is still shared.
+func TestPeerWarmStartMemoTier(t *testing.T) {
+	dir := t.TempDir()
+	mA := obs.NewMetrics()
+	sA, err := store.Open(filepath.Join(dir, "a.log"), store.Options{Metrics: mA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sA.Close()
+	rA := newTestRunner(t, serve.RunnerConfig{Workers: 1, CacheSize: -1, Tracer: obs.New().WithMetrics(mA), Store: sA})
+	job := serve.Job{ID: "memo", Source: goodSrc, Allocator: "rap", K: 5}
+	cold, err := rA.Do(context.Background(), job)
+	if err != nil || cold.Status != serve.StatusOK {
+		t.Fatalf("worker A: %v %+v", err, cold)
+	}
+	if mA.Snapshot().Counters["rap.memo.stores"] == 0 {
+		t.Fatal("worker A persisted no region summaries")
+	}
+
+	mB := obs.NewMetrics()
+	sB, err := store.Open(filepath.Join(dir, "b.log"), store.Options{Metrics: mB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sB.Close()
+	rB := newTestRunner(t, serve.RunnerConfig{
+		Workers:   1,
+		CacheSize: -1,
+		Tracer:    obs.New().WithMetrics(mB),
+		Store:     sB,
+		Peers:     storePeer{sA},
+	})
+	warm, err := rB.Do(context.Background(), job)
+	if err != nil || warm.Status != serve.StatusOK {
+		t.Fatalf("worker B: %v %+v", err, warm)
+	}
+	if warm.Cached {
+		t.Fatal("result cache disabled but B reported cached")
+	}
+	c := mB.Snapshot().Counters
+	if c["rap.memo.hits"] == 0 {
+		t.Errorf("B's allocation hit no memoized summaries: %v", c)
+	}
+	if c["fleet.peer.hits"] == 0 {
+		t.Errorf("B never fetched a summary from its peer: %v", c)
+	}
+	if warm.Code != cold.Code {
+		t.Fatal("peer-memoized allocation differs from cold allocation")
+	}
+}

@@ -42,11 +42,31 @@ type Server struct {
 	// MaxBatch bounds jobs per request (default 1024): a hard parse
 	// ceiling in front of the queue's admission control.
 	MaxBatch int
+	// MaxBodyBytes bounds every request body (default 8 MiB). Overflow
+	// answers 413 instead of letting one huge POST pin a worker's memory.
+	MaxBodyBytes int64
+	// ReadTimeout bounds reading one request, headers and body (default
+	// 1 minute — a slow-loris body cannot hold a connection open longer).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds handling + writing one response. The default
+	// scales with the runner's shape: a full queue of worst-case jobs
+	// ahead of a batch, plus slack — JobTimeout × (QueueDepth/Workers+2)
+	// — so the ceiling fires on wedged connections, not on honest load.
+	WriteTimeout time.Duration
+	// IdleTimeout reaps idle keep-alive connections (default 2 minutes).
+	IdleTimeout time.Duration
 }
 
 // NewServer wraps runner with the service endpoints.
 func NewServer(runner *Runner) *Server {
-	return &Server{runner: runner, MaxBatch: 1024}
+	return &Server{
+		runner:       runner,
+		MaxBatch:     1024,
+		MaxBodyBytes: 8 << 20,
+		ReadTimeout:  time.Minute,
+		WriteTimeout: runner.cfg.JobTimeout * time.Duration(runner.cfg.QueueDepth/runner.cfg.Workers+2),
+		IdleTimeout:  2 * time.Minute,
+	}
 }
 
 // Handler returns the routed endpoints — also the test seam (httptest
@@ -55,6 +75,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/batch", s.timed("batch", s.handleBatch))
 	mux.HandleFunc("/v1/jobs", s.timed("jobs", s.handleJob))
+	mux.HandleFunc("/v1/artifact", s.timed("artifact", s.handleArtifact))
 	mux.HandleFunc("/healthz", s.timed("healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.timed("metrics", s.handleMetrics))
 	return mux
@@ -82,11 +103,27 @@ func (s *Server) ListenAndServe(addr string, ready func(net.Addr)) error {
 	if ready != nil {
 		ready(ln.Addr())
 	}
-	s.hs = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	s.hs = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       s.ReadTimeout,
+		WriteTimeout:      s.WriteTimeout,
+		IdleTimeout:       s.IdleTimeout,
+	}
 	if err := s.hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return nil
+}
+
+// Close abandons the listener and every open connection immediately —
+// the crash path (and the fault-injection tests' worker kill), as
+// opposed to Shutdown's graceful drain.
+func (s *Server) Close() error {
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Close()
 }
 
 // Shutdown drains gracefully: stop accepting connections, let in-flight
@@ -115,6 +152,27 @@ func writeError(w http.ResponseWriter, code int, status string, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error(), Status: status})
 }
 
+// decodeBody strictly decodes a JSON request body into v under the
+// server's size bound, answering 400 on malformed JSON and 413 when the
+// body overflows MaxBodyBytes. It reports whether the caller may
+// proceed.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, StatusInvalid,
+				fmt.Errorf("%s body exceeds %d bytes", what, s.MaxBodyBytes))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, StatusInvalid, fmt.Errorf("bad %s body: %w", what, err))
+		return false
+	}
+	return true
+}
+
 // handleBatch runs a batch of jobs: per-job outcomes ride in a 200 body
 // (one bad job does not fail its neighbours); the whole batch is turned
 // away with 429 + Retry-After when the queue cannot take it, and with
@@ -126,10 +184,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req BatchRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, StatusInvalid, fmt.Errorf("bad batch body: %w", err))
+	if !s.decodeBody(w, r, "batch", &req) {
 		return
 	}
 	if len(req.Jobs) == 0 {
@@ -187,10 +242,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var job Job
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&job); err != nil {
-		writeError(w, http.StatusBadRequest, StatusInvalid, fmt.Errorf("bad job body: %w", err))
+	if !s.decodeBody(w, r, "job", &job) {
 		return
 	}
 	if job.ID == "" {
@@ -237,6 +289,32 @@ func httpCode(status string) int {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.runner.Health())
+}
+
+// handleArtifact is the read-only peer-fetch tier: GET ?key=<full store
+// key> returns the raw artifact bytes (octet-stream) from this worker's
+// persistent store, 404 on a miss or when no store is attached. Ring
+// peers call it on a local result-cache or region-memo miss, so the
+// fleet's warm artifacts reach cold workers without any push protocol.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, StatusInvalid, errors.New("GET only"))
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, StatusInvalid, errors.New("missing key parameter"))
+		return
+	}
+	val, ok := s.runner.Artifact(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, StatusError, fmt.Errorf("no artifact under %q", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(val)
 }
 
 // handleMetrics serves the obs metrics snapshot (schema rap/metrics/v2):

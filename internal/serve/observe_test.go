@@ -96,7 +96,7 @@ func TestTraceIDPropagation(t *testing.T) {
 		t.Errorf("job ID = %q, header = %q, want tr-one", res.ID, resp.Header.Get(serve.TraceHeader))
 	}
 
-	// No header, no ID: admission assigns a stable job-N ID anyway.
+	// No header, no ID: admission assigns a stable auto-N ID anyway.
 	resp, body = post("/v1/jobs", "", serve.Job{Source: goodSrc, Allocator: "rap", K: 8})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("anonymous job status = %d", resp.StatusCode)
@@ -104,8 +104,8 @@ func TestTraceIDPropagation(t *testing.T) {
 	if err := json.Unmarshal(body, &res); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(res.ID, "job-") {
-		t.Errorf("anonymous job ID = %q, want job-N", res.ID)
+	if !strings.HasPrefix(res.ID, serve.AutoIDPrefix) {
+		t.Errorf("anonymous job ID = %q, want auto-N", res.ID)
 	}
 }
 

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"repro/internal/obs"
+	"repro/internal/regalloc/rap"
+)
+
+// PeerSource is the fleet's read-only artifact tier: given a full store
+// key (namespace prefix included, e.g. "result/<hash>" or
+// "memo/<hash>"), it returns the artifact if any ring peer holds it.
+// internal/fleet.PeerClient is the production implementation; the
+// runner only requires the one-method shape so tests can stub it.
+//
+// Fetch must be safe for concurrent use and should bound its own
+// latency: it is consulted on the miss path of both the result cache
+// and RAP's region memo, inside the job's execution budget.
+type PeerSource interface {
+	Fetch(key string) ([]byte, bool)
+}
+
+// peerGetter adapts a PeerSource to one key namespace and counts the
+// fleet.peer.hits / fleet.peer.misses traffic — the economics of the
+// peer tier in the rap/metrics/v2 snapshot.
+type peerGetter struct {
+	src    PeerSource
+	prefix string
+	m      *obs.Metrics
+}
+
+func (p peerGetter) Get(key string) ([]byte, bool) {
+	val, ok := p.src.Fetch(p.prefix + key)
+	if ok {
+		p.m.Add("fleet.peer.hits", 1)
+	} else {
+		p.m.Add("fleet.peer.misses", 1)
+	}
+	return val, ok
+}
+
+// tieredMemo is the fleet-shaped rap.Memo: a local persistent store
+// fronted over the peer tier. Gets fall through local → peers, and a
+// peer hit writes through locally so the artifact is served from disk
+// next time; Puts are local only (peers pull, they are never pushed).
+type tieredMemo struct {
+	local rap.Memo
+	peer  peerGetter
+}
+
+func (t tieredMemo) Get(key string) ([]byte, bool) {
+	if val, ok := t.local.Get(key); ok {
+		return val, ok
+	}
+	val, ok := t.peer.Get(key)
+	if ok {
+		_ = t.local.Put(key, val) // a failed write-through only loses future reuse
+	}
+	return val, ok
+}
+
+func (t tieredMemo) Put(key string, val []byte) error { return t.local.Put(key, val) }

@@ -27,6 +27,13 @@ var ErrQueueFull = errors.New("job queue full")
 // shutting down gracefully).
 var ErrDraining = errors.New("runner draining")
 
+// AutoIDPrefix namespaces the job IDs the runner assigns to anonymous
+// jobs. The namespace is reserved: a client-supplied ID under it is
+// rejected as invalid, so an anonymous job's trace ID, slow-job log
+// lines and response IDs can never be aliased by a later request that
+// happens to guess the sequence (e.g. {"id": "auto-3"}).
+const AutoIDPrefix = "auto-"
+
 // RunnerConfig sizes the execution core.
 type RunnerConfig struct {
 	// Workers bounds concurrent job execution (default GOMAXPROCS).
@@ -67,6 +74,12 @@ type RunnerConfig struct {
 	// Purely a wall-clock knob: results, and therefore the result cache,
 	// are unaffected.
 	IntraParallel int
+	// Peers, when non-nil, is the fleet's read-only artifact tier: on a
+	// local miss the result cache (and, with a Store attached, RAP's
+	// region memo) consults ring peers before recomputing, so a cold
+	// worker warm-starts from artifacts the rest of the fleet already
+	// produced. Peer traffic is counted under fleet.peer.hits/misses.
+	Peers PeerSource
 }
 
 func (cfg *RunnerConfig) fill() {
@@ -94,6 +107,10 @@ type Task struct {
 	accepted time.Time
 	res      Result
 	done     chan struct{}
+	// autoID records that the runner (not the client) assigned the job's
+	// ID, so execute can reject client IDs inside the reserved namespace
+	// without rejecting its own.
+	autoID bool
 }
 
 // Runner is the shared execution core: a bounded worker pool with
@@ -149,6 +166,14 @@ func NewRunner(cfg RunnerConfig) *Runner {
 		r.memo = store.Prefixed(cfg.Store, memoPrefix)
 		r.warmStart(cfg.Store)
 	}
+	if cfg.Peers != nil {
+		r.cache.peer = &peerGetter{src: cfg.Peers, prefix: resultPrefix, m: r.metrics}
+		if r.memo != nil {
+			// The memo peer tier needs a local store to write through to;
+			// without one the runner has no memo at all.
+			r.memo = tieredMemo{local: r.memo, peer: peerGetter{src: cfg.Peers, prefix: memoPrefix, m: r.metrics}}
+		}
+	}
 	r.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go r.worker()
@@ -188,6 +213,22 @@ func (r *Runner) warmStart(s *store.Store) {
 // Metrics returns the registry the runner reports into.
 func (r *Runner) Metrics() *obs.Metrics { return r.metrics }
 
+// Artifact serves the read-only peer-fetch tier: it returns the raw
+// artifact stored under a full store key ("result/…", "memo/…") from
+// the runner's persistent store, if one is attached. Ring peers call
+// this through GET /v1/artifact on a local miss, so any worker can
+// warm-start from the fleet's artifacts.
+func (r *Runner) Artifact(key string) ([]byte, bool) {
+	if r.cfg.Store == nil {
+		return nil, false
+	}
+	val, ok := r.cfg.Store.Get(key)
+	if ok {
+		r.metrics.Add("serve.artifact.served", 1)
+	}
+	return val, ok
+}
+
 // LastJobSnapshot returns the pipeline metrics snapshot of the most
 // recently executed (non-cached) job, or nil before the first one.
 func (r *Runner) LastJobSnapshot() *obs.Snapshot { return r.lastJob.Load() }
@@ -225,11 +266,15 @@ func (r *Runner) Submit(ctx context.Context, job Job) (*Task, error) {
 	}
 	// Every job gets a stable ID at admission: it is the trace ID on the
 	// job's spans/events, the "id" in its result line, and the join key
-	// in the slow-job log. Caller-provided IDs win.
+	// in the slow-job log. Caller-provided IDs win — except inside the
+	// reserved auto namespace, which execute rejects (the autoID flag is
+	// how it tells the runner's own IDs from a client collision).
+	auto := false
 	if job.ID == "" {
-		job.ID = fmt.Sprintf("job-%d", r.jobSeq.Add(1))
+		job.ID = fmt.Sprintf("%s%d", AutoIDPrefix, r.jobSeq.Add(1))
+		auto = true
 	}
-	t := &Task{ctx: ctx, job: job, accepted: time.Now(), done: make(chan struct{})}
+	t := &Task{ctx: ctx, job: job, accepted: time.Now(), done: make(chan struct{}), autoID: auto}
 	r.metrics.Add("serve.jobs.accepted", 1)
 	r.metrics.SetGauge("serve.queue.depth", r.pending.Load()-r.inflight.Load())
 	r.queue <- t
@@ -316,15 +361,16 @@ func (r *Runner) worker() {
 	defer r.wg.Done()
 	for t := range r.queue {
 		r.metrics.ObserveDur("serve.queue.wait", time.Since(t.accepted))
-		t.res = r.execute(t.ctx, t.job)
+		t.res = r.execute(t.ctx, t.job, t.autoID)
 		r.pending.Add(-1)
 		close(t.done)
 	}
 }
 
 // execute runs one job through validation, the cache, and the isolated
-// pipeline, and classifies the outcome.
-func (r *Runner) execute(ctx context.Context, job Job) Result {
+// pipeline, and classifies the outcome. autoID marks a runner-assigned
+// ID (exempt from the reserved-namespace check).
+func (r *Runner) execute(ctx context.Context, job Job, autoID bool) Result {
 	start := time.Now()
 	r.metrics.Add("serve.jobs.started", 1)
 	r.metrics.SetGauge("serve.inflight", r.inflight.Add(1))
@@ -338,6 +384,10 @@ func (r *Runner) execute(ctx context.Context, job Job) Result {
 		r.metrics.ObserveDur("serve.job", d)
 		r.logSlow(res, d)
 		return res
+	}
+	if !autoID && strings.HasPrefix(job.ID, AutoIDPrefix) {
+		return finish(Result{ID: job.ID, Status: StatusInvalid,
+			Error: fmt.Sprintf("%v: job ID %q is in the reserved %q namespace", ErrBadJob, job.ID, AutoIDPrefix)})
 	}
 	if err := job.Validate(); err != nil {
 		return finish(Result{ID: job.ID, Status: StatusInvalid, Error: err.Error()})

@@ -85,6 +85,12 @@ type Store struct {
 	closed  bool
 	seq     atomic.Uint64
 	gcCount int64
+	// reordered flips when a Get bumps an entry's recency out of append
+	// order. Replay can only reconstruct append order, so Close compacts
+	// a reordered log (rewriting records oldest-access-first) — otherwise
+	// a restarted store would GC by append order and could evict its
+	// hottest artifacts first.
+	reordered atomic.Bool
 }
 
 // Open opens (creating if needed) the log at path, replays it into the
@@ -208,6 +214,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	e.seq.Store(s.seq.Add(1))
+	s.reordered.Store(true)
 	s.opts.Metrics.Add("store.hit", 1)
 	return val, true
 }
@@ -250,18 +257,22 @@ func (s *Store) Put(key string, val []byte) error {
 	s.size += int64(len(rec))
 	s.opts.Metrics.Add("store.write", 1)
 	if s.opts.MaxBytes > 0 && s.size > s.opts.MaxBytes {
-		if err := s.gcLocked(); err != nil {
+		if err := s.compactLocked(s.opts.MaxBytes); err != nil {
 			return fmt.Errorf("store: gc: %w", err)
 		}
+		s.gcCount++
+		s.opts.Metrics.Add("store.gc", 1)
 	}
 	return nil
 }
 
-// gcLocked compacts the log by access time: entries are kept newest
-// access first while they fit in MaxBytes (always keeping at least one),
-// rewritten oldest-kept-first to a temp file that atomically replaces
-// the log. Caller holds the write lock.
-func (s *Store) gcLocked() error {
+// compactLocked rewrites the log by access time: entries are kept
+// newest access first while they fit in maxBytes (always keeping at
+// least one; maxBytes <= 0 keeps everything), rewritten
+// oldest-kept-first to a temp file that atomically replaces the log —
+// so both the GC bound and a future replay's ordering mirror true
+// recency. Caller holds the write lock.
+func (s *Store) compactLocked(maxBytes int64) error {
 	type kv struct {
 		key string
 		e   *entry
@@ -275,7 +286,7 @@ func (s *Store) gcLocked() error {
 	budget := int64(len(magic))
 	keep := 0
 	for _, it := range all {
-		if keep > 0 && budget+it.e.recSize > s.opts.MaxBytes {
+		if maxBytes > 0 && keep > 0 && budget+it.e.recSize > maxBytes {
 			break
 		}
 		budget += it.e.recSize
@@ -341,8 +352,7 @@ func (s *Store) gcLocked() error {
 	s.f = tmp
 	s.index = newIndex
 	s.size = off
-	s.gcCount++
-	s.opts.Metrics.Add("store.gc", 1)
+	s.reordered.Store(false)
 	old.Close()
 	return nil
 }
@@ -408,14 +418,30 @@ func (s *Store) Sync() error {
 }
 
 // Close flushes and closes the log. Further operations fail (Get misses).
+//
+// A log whose access order diverged from its append order (any Get
+// bumped recency) is compacted first, so the next Open's replay — which
+// can only observe file order — reconstructs true last-access recency
+// and a post-restart GC evicts genuinely cold artifacts instead of the
+// oldest-written (and possibly hottest) ones.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil
 	}
+	var err error
+	if s.reordered.Load() && len(s.index) > 0 {
+		if err = s.compactLocked(-1); err == nil {
+			s.opts.Metrics.Add("store.compact", 1)
+		}
+		// A failed compaction only loses recency across the restart; the
+		// log itself is still intact, so closing proceeds.
+	}
 	s.closed = true
-	err := s.f.Sync()
+	if serr := s.f.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := s.f.Close(); err == nil {
 		err = cerr
 	}

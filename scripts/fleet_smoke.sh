@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — CI smoke test for the fleet: a raprouter over three
+# store-backed rapserved workers takes a deterministic raploadgen stream,
+# a worker is SIGKILLed mid-run and every job must still complete, the
+# worker comes back with an empty store and must warm-start from its
+# ring peers (fleet.peer.hits > 0), and every run's result digest must
+# be byte-identical to a single-node run of the same stream — the fleet
+# changes scheduling, never results.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+TMP=$(mktemp -d)
+trap 'kill -9 $(jobs -p) 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/rapserved" ./cmd/rapserved
+go build -o "$TMP/raprouter" ./cmd/raprouter
+go build -o "$TMP/raploadgen" ./cmd/raploadgen
+
+W1=127.0.0.1:18181; W2=127.0.0.1:18182; W3=127.0.0.1:18183
+SOLO=127.0.0.1:18184; ROUTER=127.0.0.1:18180
+
+wait_healthy() { # addr
+    for _ in $(seq 1 50); do
+        if curl -sf "http://$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "FAIL: $1 never became healthy"; cat "$TMP"/*.log; exit 1
+}
+
+start_worker() { # name addr extra-flags...
+    local name=$1 addr=$2; shift 2
+    "$TMP/rapserved" -addr "$addr" -store-dir "$TMP/store-$name" -queue 64 "$@" \
+        >"$TMP/$name.log" 2>&1 &
+    eval "${name^^}_PID=$!"
+    wait_healthy "$addr"
+}
+
+digest_of() { # loadgen-report-file
+    grep -o '"digest": "[0-9a-f]*"' "$1" | grep -o '[0-9a-f]\{64\}'
+}
+
+start_worker w1 "$W1"
+start_worker w2 "$W2"
+start_worker w3 "$W3"
+start_worker solo "$SOLO"
+
+"$TMP/raprouter" -addr "$ROUTER" -health-interval 250ms \
+    -fleet "http://$W1,http://$W2,http://$W3" >"$TMP/router.log" 2>&1 &
+ROUTER_PID=$!
+wait_healthy "$ROUTER"
+curl -sf "http://$ROUTER/healthz" | grep -q '"workers_alive": 3' || {
+    echo "FAIL: router does not see 3 live workers"; cat "$TMP/router.log"; exit 1; }
+
+# Run 1: cold fleet vs single node — the digests must be byte-identical.
+"$TMP/raploadgen" -target "http://$ROUTER" -jobs 60 -concurrency 8 -seed 1 \
+    >"$TMP/fleet1.json" 2>"$TMP/fleet1.err"
+"$TMP/raploadgen" -target "http://$SOLO" -jobs 60 -concurrency 8 -seed 1 \
+    >"$TMP/solo1.json" 2>/dev/null
+[ "$(digest_of "$TMP/fleet1.json")" = "$(digest_of "$TMP/solo1.json")" ] || {
+    echo "FAIL: fleet digest differs from single-node digest (seed 1)"
+    cat "$TMP/fleet1.json" "$TMP/solo1.json"; exit 1; }
+# Duplicate jobs in the stream (-dup 4) must have hit worker caches.
+grep -Eq '"cached": [1-9]' "$TMP/fleet1.json" || {
+    echo "FAIL: no cache hits across the fleet run"; cat "$TMP/fleet1.json"; exit 1; }
+
+# Run 2 (fresh seed, so every job computes): SIGKILL w3 mid-run. The
+# router must requeue its share and the loadgen must still see 60/60
+# ok (raploadgen exits nonzero otherwise).
+"$TMP/raploadgen" -target "http://$ROUTER" -jobs 60 -concurrency 8 -seed 2 \
+    >"$TMP/fleet2.json" 2>"$TMP/fleet2.err" &
+LG=$!
+for _ in $(seq 1 100); do
+    STARTED=$(curl -sf "http://$W3/metrics" | grep -o '"serve.jobs.started": [0-9]*' | grep -o '[0-9]*$' || echo 0)
+    [ "${STARTED:-0}" -ge 3 ] && break
+    sleep 0.05
+done
+kill -9 "$W3_PID"
+wait $LG || { echo "FAIL: jobs lost after worker kill"; cat "$TMP/fleet2.err" "$TMP/router.log"; exit 1; }
+"$TMP/raploadgen" -target "http://$SOLO" -jobs 60 -concurrency 8 -seed 2 \
+    >"$TMP/solo2.json" 2>/dev/null
+[ "$(digest_of "$TMP/fleet2.json")" = "$(digest_of "$TMP/solo2.json")" ] || {
+    echo "FAIL: kill-a-worker run digest differs from single-node digest (seed 2)"; exit 1; }
+curl -sf "http://$ROUTER/metrics" | grep -Eq '"fleet.requeue": [1-9]' || {
+    echo "FAIL: router recorded no requeues after the kill"; exit 1; }
+curl -sf "http://$ROUTER/healthz" | grep -q '"workers_alive": 2' || {
+    echo "FAIL: router still counts the killed worker alive"; exit 1; }
+
+# Restart w3 with an EMPTY store and its ring peers configured: rerunning
+# the seed-2 stream routes its share back to it, and it must warm-start
+# those results from w1/w2 over the peer artifact tier instead of
+# recomputing.
+rm -rf "$TMP/store-w3"
+start_worker w3 "$W3" -peers "http://$W1,http://$W2"
+sleep 0.6  # let the router's health probe revive w3
+"$TMP/raploadgen" -target "http://$ROUTER" -jobs 60 -concurrency 8 -seed 2 \
+    >"$TMP/fleet3.json" 2>/dev/null
+[ "$(digest_of "$TMP/fleet3.json")" = "$(digest_of "$TMP/solo2.json")" ] || {
+    echo "FAIL: post-restart digest differs from single-node digest"; exit 1; }
+curl -sf "http://$W3/metrics" | grep -Eq '"fleet.peer.hits": [1-9]' || {
+    echo "FAIL: restarted worker recorded no peer warm hits"
+    curl -sf "http://$W3/metrics"; exit 1; }
+
+# Graceful teardown: the router drains on SIGTERM.
+kill -TERM "$ROUTER_PID"
+for _ in $(seq 1 100); do
+    kill -0 "$ROUTER_PID" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$ROUTER_PID" 2>/dev/null && { echo "FAIL: router ignored SIGTERM"; exit 1; }
+grep -q "drained cleanly" "$TMP/router.log" || {
+    echo "FAIL: no clean-drain log line from router"; cat "$TMP/router.log"; exit 1; }
+
+echo "PASS: fleet smoke (3 workers, byte-identical digests, kill+requeue, peer warm-start, drain)"
