@@ -36,7 +36,7 @@ func main() {
 		format     = flag.String("format", "text", "output format for -what pdg: text or dot")
 		fn         = flag.String("func", "", "dump only this function (default: all)")
 		merge      = flag.Bool("merge-stmts", false, "merge per-statement regions")
-		allocFlag  = flag.String("alloc", "none", "allocate registers first: none, gra, rap, or naive")
+		allocFlag  = flag.String("alloc", "none", "allocate registers first ("+core.AllocatorFlagHelp()+")")
 		k          = flag.Int("k", 5, "number of physical registers for -alloc")
 		metricsOut = flag.String("metrics", "", "write front-end/PDG-build timings (schema rap/metrics/v2) as JSON to this file")
 	)

@@ -37,18 +37,18 @@ import (
 
 func main() {
 	var (
-		only     = flag.String("only", "", "comma-separated benchmark programs (default: all)")
-		ksFlag   = flag.String("ks", "3,5,7,9", "register set sizes")
-		merge    = flag.Bool("merge-stmts", false, "merge per-statement regions (ablation)")
-		ablate   = flag.Bool("ablate", false, "compare RAP phase ablations")
-		verify   = flag.Bool("verify", false, "statically verify every allocation against the unallocated reference while measuring")
-		csvOut   = flag.String("csv", "", "also write the rows as CSV to this file")
-		jsonOut  = flag.String("json", "", "write the Table 1 rows plus per-(program,k) wall clock as JSON (schema rap/bench/v1) to this file")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
-		suite    = flag.String("suite", "paper", "benchmark set: paper (Table 1 rows) or extended (adds bubble/quick/mm/whetstone/ackermann)")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the (program,k) comparison units; 1 = sequential (output is identical either way)")
-		storeDir = flag.String("store", "", "run the suite twice (cold, then warm) against a persistent artifact store in this directory and report hit rates; -json writes the rap/bench-store/v1 record")
+		only         = flag.String("only", "", "comma-separated benchmark programs (default: all)")
+		ksFlag       = flag.String("ks", "3,5,7,9", "register set sizes")
+		merge        = flag.Bool("merge-stmts", false, "merge per-statement regions (ablation)")
+		ablate       = flag.Bool("ablate", false, "compare RAP phase ablations")
+		verify       = flag.Bool("verify", false, "statically verify every allocation against the unallocated reference while measuring")
+		csvOut       = flag.String("csv", "", "also write the rows as CSV to this file")
+		jsonOut      = flag.String("json", "", "write the Table 1 rows plus per-(program,k) wall clock as JSON (schema rap/bench/v1) to this file")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf      = flag.String("memprofile", "", "write a heap profile to this file")
+		suite        = flag.String("suite", "paper", "benchmark set: paper (Table 1 rows) or extended (adds bubble/quick/mm/whetstone/ackermann)")
+		parallel     = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the (program,k) comparison units; 1 = sequential (output is identical either way)")
+		storeDir     = flag.String("store", "", "run the suite twice (cold, then warm) against a persistent artifact store in this directory and report hit rates; -json writes the rap/bench-store/v1 record")
 		intraSweep   = flag.Bool("intra-parallel", false, "sweep RAP's intra-function parallel walk over the -cpus GOMAXPROCS values, asserting parallel output byte-identical to sequential; -json writes the rap/bench-intra/v1 record")
 		cpusFlag     = flag.String("cpus", "1,2,4,8", "GOMAXPROCS values for the -intra-parallel sweep")
 		intraRepeat  = flag.Int("intra-repeat", 5, "timed repetitions per -intra-parallel point (best is reported)")

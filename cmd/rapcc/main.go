@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		alloc      = flag.String("alloc", "none", "register allocator: none, gra, rap, or naive (spill everything)")
+		alloc      = flag.String("alloc", "none", core.AllocatorFlagHelp())
 		k          = flag.Int("k", 5, "number of physical registers")
 		dump       = flag.Bool("dump", false, "print the (possibly allocated) iloc code")
 		run        = flag.Bool("run", true, "execute the program")

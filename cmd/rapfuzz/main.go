@@ -57,7 +57,7 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "total session budget (0 = unlimited); a clean partial sweep still exits 0")
 	caseTimeout := flag.Duration("case-timeout", 30*time.Second, "budget for one (allocator, k) case")
 	ksFlag := flag.String("ks", "3,5,7,9", "comma-separated register set sizes")
-	allocsFlag := flag.String("allocs", "gra,rap,naive", "comma-separated allocators to test")
+	allocsFlag := flag.String("allocs", "gra,rap,irc,naive", "comma-separated allocators to test (from: "+core.AllocatorNames()+")")
 	noVerify := flag.Bool("no-verify", false, "skip the static allocation verifier (differential check only)")
 	metricsOut := flag.Bool("metrics", false, "print the metrics snapshot (cases, failures) on exit")
 	verbose := flag.Bool("v", false, "log each seed as it is tested")

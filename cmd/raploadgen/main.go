@@ -8,9 +8,10 @@
 //	raploadgen -target http://127.0.0.1:8080 -jobs 5000 -concurrency 32
 //	raploadgen -target ... -seed 7 -ks 3,5,7,9 -dup 4   # every 4th job repeats one
 //
-// Jobs are randprog programs (mixed register-set sizes, deterministic
-// from -seed), so two runs with the same flags submit byte-identical
-// work. The report (schema rap/loadgen/v1, JSON on stdout) includes a
+// Jobs are randprog programs (mixed register-set sizes and — with a
+// comma-separated -alloc list — mixed allocators, deterministic from
+// -seed), so two runs with the same flags submit byte-identical work.
+// The report (schema rap/loadgen/v1, JSON on stdout) includes a
 // result digest: a SHA-256 over every job's (id, status, code, output,
 // ret) — byte-equal digests across a fleet run, a kill-a-worker run and
 // a single-node run prove the fleet changes scheduling, never results.
@@ -33,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/randprog"
 	"repro/internal/serve"
 )
@@ -63,7 +65,7 @@ func main() {
 		ksFlag  = flag.String("ks", "3,5,7,9", "register set sizes, cycled across jobs")
 		dup     = flag.Int("dup", 4, "every Nth job duplicates an earlier one, exercising the caches (0 = all distinct)")
 		run     = flag.Bool("run", false, "also execute each allocated program on the interpreter")
-		alloc   = flag.String("allocator", "rap", "allocator for the generated jobs")
+		alloc   = flag.String("alloc", "rap", "allocators for the generated jobs, comma-separated and cycled across the stream (from: "+core.AllocatorNames()+")")
 		retries = flag.Int("retries", 100, "max attempts per job on 429/503/transport errors")
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request HTTP ceiling")
 	)
@@ -83,28 +85,38 @@ func main() {
 		}
 		ks = append(ks, k)
 	}
+	var allocs []core.Allocator
+	for _, s := range strings.Split(*alloc, ",") {
+		a, err := core.ParseAllocator(s)
+		if err != nil {
+			log.Fatalf("raploadgen: %v", err)
+		}
+		allocs = append(allocs, a)
+	}
 
 	// The job stream is a pure function of the flags: sources come from
-	// seeded randprog, ks cycle, and every -dup'th job re-submits the
-	// first job of its block (same source, same k — an exact cache-key
-	// duplicate).
+	// seeded randprog, ks and allocators cycle, and every -dup'th job
+	// re-submits the first job of its block (same source, same k, same
+	// allocator — an exact cache-key duplicate).
 	cfg := randprog.DefaultConfig()
 	srcs := make([]string, *jobs)
 	jl := make([]serve.Job, *jobs)
 	runWanted := *run
 	for i := range jl {
 		k := ks[i%len(ks)]
+		ac := allocs[i%len(allocs)]
 		if *dup > 1 && i%*dup == *dup-1 {
 			base := i - i%*dup
-			srcs[i] = srcs[base] // duplicate the whole cache key,
-			k = ks[base%len(ks)] // k included
+			srcs[i] = srcs[base]          // duplicate the whole cache key,
+			k = ks[base%len(ks)]          // k included,
+			ac = allocs[base%len(allocs)] // allocator included
 		} else {
 			srcs[i] = randprog.Generate(*seed*1_000_003+int64(i), cfg)
 		}
 		jl[i] = serve.Job{
 			ID:        fmt.Sprintf("lg-%06d", i),
 			Source:    srcs[i],
-			Allocator: *alloc,
+			Allocator: string(ac),
 			K:         k,
 			Run:       &runWanted,
 		}

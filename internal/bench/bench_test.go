@@ -35,7 +35,7 @@ func TestSuiteCompilesAndRuns(t *testing.T) {
 	}
 }
 
-// TestSuiteBehaviourPreserved: both allocators preserve each program's
+// TestSuiteBehaviourPreserved: every allocator preserves each program's
 // behaviour at a tight register set (the fuller k sweep runs in the
 // harness itself, which verifies behaviour on every run).
 func TestSuiteBehaviourPreserved(t *testing.T) {
@@ -52,7 +52,7 @@ func TestSuiteBehaviourPreserved(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, alloc := range []core.Allocator{core.AllocGRA, core.AllocRAP} {
+			for _, alloc := range []core.Allocator{core.AllocGRA, core.AllocRAP, core.AllocIRC} {
 				p, err := core.Compile(prog.Source, core.Config{Allocator: alloc, K: 4})
 				if err != nil {
 					t.Fatalf("%s: %v", alloc, err)
@@ -163,7 +163,7 @@ func TestExtraSuite(t *testing.T) {
 					t.Errorf("routine %s never executed", fn)
 				}
 			}
-			for _, alloc := range []core.Allocator{core.AllocGRA, core.AllocRAP} {
+			for _, alloc := range []core.Allocator{core.AllocGRA, core.AllocRAP, core.AllocIRC} {
 				p, err := core.Compile(prog.Source, core.Config{Allocator: alloc, K: 3})
 				if err != nil {
 					t.Fatalf("%s: %v", alloc, err)

@@ -25,14 +25,18 @@ type JSONRow struct {
 	K           int          `json:"k"`
 	GRA         interp.Stats `json:"gra"`
 	RAP         interp.Stats `json:"rap"`
+	IRC         interp.Stats `json:"irc"`
 	PctTotal    float64      `json:"pct_total"`
 	PctLoads    float64      `json:"pct_loads"`
 	PctStores   float64      `json:"pct_stores"`
 	PctCopies   float64      `json:"pct_copies"`
+	PctIRCTotal float64      `json:"pct_irc_total"`
 	GRASize     int          `json:"gra_size"`
 	RAPSize     int          `json:"rap_size"`
+	IRCSize     int          `json:"irc_size"`
 	GRASpillOps int          `json:"gra_spill_ops"`
 	RAPSpillOps int          `json:"rap_spill_ops"`
+	IRCSpillOps int          `json:"irc_spill_ops"`
 }
 
 // JSONSummary is the per-k aggregate (the paper's last table row).
@@ -41,6 +45,7 @@ type JSONSummary struct {
 	AvgTotal  float64 `json:"avg_pct_total"`
 	AvgLoads  float64 `json:"avg_pct_loads"`
 	AvgStores float64 `json:"avg_pct_stores"`
+	AvgIRC    float64 `json:"avg_pct_irc_total"`
 	Wins      int     `json:"wins"`
 	Rows      int     `json:"rows"`
 }
@@ -102,18 +107,21 @@ func Report(rows []Row, ks []int, m *obs.Metrics) JSONReport {
 			}
 			rep.Rows = append(rep.Rows, JSONRow{
 				Program: r.Program, Func: r.Func, K: k,
-				GRA: mm.GRA, RAP: mm.RAP,
+				GRA: mm.GRA, RAP: mm.RAP, IRC: mm.IRC,
 				PctTotal: mm.PctTotal(), PctLoads: mm.PctLoads(),
 				PctStores: mm.PctStores(), PctCopies: mm.PctCopies(),
-				GRASize: mm.GRASize, RAPSize: mm.RAPSize,
+				PctIRCTotal: mm.PctIRCTotal(),
+				GRASize:     mm.GRASize, RAPSize: mm.RAPSize, IRCSize: mm.IRCSize,
 				GRASpillOps: mm.GRASpillOps, RAPSpillOps: mm.RAPSpillOps,
+				IRCSpillOps: mm.IRCSpillOps,
 			})
 		}
 	}
 	for _, s := range Summarize(rows, ks) {
 		rep.Summary = append(rep.Summary, JSONSummary{
 			K: s.K, AvgTotal: s.AvgTotal, AvgLoads: s.AvgLoads,
-			AvgStores: s.AvgStores, Wins: s.Wins, Rows: s.Rows,
+			AvgStores: s.AvgStores, AvgIRC: s.AvgIRC,
+			Wins: s.Wins, Rows: s.Rows,
 		})
 	}
 	rep.OverallAvgPct = OverallAverage(Summarize(rows, ks))

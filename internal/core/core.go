@@ -17,6 +17,7 @@ import (
 	"repro/internal/peephole"
 	"repro/internal/regalloc"
 	"repro/internal/regalloc/chaitin"
+	"repro/internal/regalloc/irc"
 	"repro/internal/regalloc/naive"
 	"repro/internal/regalloc/rap"
 	"repro/internal/sem"
@@ -40,7 +41,49 @@ const (
 	// AllocNaive spills everything — the textbook worst case, used as a
 	// third differential oracle and lower bound.
 	AllocNaive Allocator = "naive"
+	// AllocIRC is George–Appel iterated register coalescing with
+	// precolored physical registers and the real call ABI (calls clobber
+	// the caller-save half of the file; callee-save registers are
+	// saved/restored) — an independently built coloring backend for the
+	// three-way Table 1 comparison and the differential fuzz matrix.
+	AllocIRC Allocator = "irc"
 )
+
+// allAllocators is the single registry every allocator list derives
+// from: ParseAllocator, Config.Validate, the CLI -alloc help strings,
+// and the error text all use it, so registering a backend here makes it
+// appear everywhere at once. Order is the presentation order.
+var allAllocators = []Allocator{AllocNone, AllocGRA, AllocRAP, AllocNaive, AllocIRC}
+
+// Allocators returns the registered allocators in presentation order.
+func Allocators() []Allocator {
+	return append([]Allocator(nil), allAllocators...)
+}
+
+// AllocatorNames renders the registry as "none, gra, rap, naive or irc"
+// — the fragment shared by ParseAllocator's error text and the CLI
+// -alloc flag help, so the two can never drift apart.
+func AllocatorNames() string {
+	names := ""
+	for i, a := range allAllocators {
+		switch {
+		case i == 0:
+		case i == len(allAllocators)-1:
+			names += " or "
+		default:
+			names += ", "
+		}
+		names += string(a)
+	}
+	return names
+}
+
+// AllocatorFlagHelp is the canonical help text for a CLI -alloc flag,
+// derived from the registry so a command's usage string can never drift
+// from what ParseAllocator accepts.
+func AllocatorFlagHelp() string {
+	return "register allocator: " + AllocatorNames()
+}
 
 // Config selects and parameterizes a compilation.
 type Config struct {
@@ -135,6 +178,18 @@ func Compile(src string, cfg Config) (*ir.Program, error) {
 			}
 		}
 		return p, nil
+	case AllocIRC:
+		span := cfg.Trace.StartSpan("alloc.irc")
+		defer span.End()
+		for _, f := range p.Funcs {
+			if err := irc.Allocate(f, cfg.K, irc.Options{Trace: cfg.Trace}); err != nil {
+				return nil, fmt.Errorf("%s: %w", f.Name, err)
+			}
+			if err := regalloc.CheckPhysical(f); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
 	case AllocRAP:
 		span := cfg.Trace.StartSpan("alloc.rap")
 		defer span.End()
@@ -168,23 +223,31 @@ func RunContext(ctx context.Context, p *ir.Program) (*interp.Result, error) {
 	return interp.Run(p, interp.Options{Context: ctx})
 }
 
-// Measurement is one routine's executed-instruction statistics under both
-// allocators for one register set size.
+// Measurement is one routine's executed-instruction statistics under the
+// compared allocators for one register set size.
 type Measurement struct {
 	Func string
 	K    int
 	GRA  interp.Stats
 	RAP  interp.Stats
-	// GRASpillOps / RAPSpillOps count the *static* spill instructions
-	// (lds/sts) in the allocated routine. The paper leaves a Table 1
-	// entry blank "if the allocated code does not contain spill code";
-	// both being zero reproduces that rule.
+	// IRC is the iterated-register-coalescing backend's statistics. Its
+	// cycle counts include the real call-ABI costs (callee-save
+	// save/restore, RetReg routing) the window-convention backends do
+	// not pay, which is part of what the three-way comparison shows.
+	IRC interp.Stats
+	// GRASpillOps / RAPSpillOps / IRCSpillOps count the *static* spill
+	// instructions (lds/sts) in the allocated routine. The paper leaves
+	// a Table 1 entry blank "if the allocated code does not contain
+	// spill code"; all being zero reproduces that rule.
 	GRASpillOps int
 	RAPSpillOps int
-	// GRASize / RAPSize count the routine's static instructions after
-	// allocation (labels excluded) — the code-growth side of spilling.
+	IRCSpillOps int
+	// GRASize / RAPSize / IRCSize count the routine's static
+	// instructions after allocation (labels excluded) — the code-growth
+	// side of spilling.
 	GRASize int
 	RAPSize int
+	IRCSize int
 }
 
 // PctTotal is the paper's headline metric for the routine:
@@ -220,11 +283,21 @@ func (m Measurement) PctCopies() float64 {
 	return float64(m.GRA.Copies-m.RAP.Copies) / float64(m.GRA.Cycles) * 100
 }
 
-// HasSpillCode reports whether either allocation *contains* spill code —
+// PctIRCTotal is the headline metric applied to the IRC backend:
+// (cycles(GRA) − cycles(IRC)) / cycles(GRA) × 100. Negative values mean
+// IRC's ABI overhead outweighed its coalescing gains for the routine.
+func (m Measurement) PctIRCTotal() float64 {
+	if m.GRA.Cycles == 0 {
+		return 0
+	}
+	return float64(m.GRA.Cycles-m.IRC.Cycles) / float64(m.GRA.Cycles) * 100
+}
+
+// HasSpillCode reports whether any allocation *contains* spill code —
 // the paper's rule for leaving a Table 1 entry blank ("if the allocated
 // code does not contain spill code").
 func (m Measurement) HasSpillCode() bool {
-	return m.GRASpillOps+m.RAPSpillOps > 0
+	return m.GRASpillOps+m.RAPSpillOps+m.IRCSpillOps > 0
 }
 
 // CompareConfig tunes a Compare run.
@@ -329,10 +402,11 @@ func CompareAtK(src string, k int, cfg CompareConfig, ref *RefRun) ([]Measuremen
 }
 
 // CompareAtKContext measures one register set size against a prepared
-// reference: compile src under GRA and RAP at k, run both, verify
-// behaviour (and, with cfg.Verify, the static allocation invariants),
-// and report per-routine statistics. It is the unit of work the parallel
-// harness fans out; ctx cancellation is observed between phases.
+// reference: compile src under GRA, RAP and IRC at k, run all three,
+// verify behaviour (and, with cfg.Verify, the static allocation
+// invariants), and report per-routine statistics. It is the unit of work
+// the parallel harness fans out; ctx cancellation is observed between
+// phases.
 func CompareAtKContext(ctx context.Context, src string, k int, cfg CompareConfig, ref *RefRun) ([]Measurement, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -378,22 +452,46 @@ func CompareAtKContext(ctx context.Context, src string, k int, cfg CompareConfig
 	if err := testutil.SameBehaviour(ref.Res, rapRes); err != nil {
 		return nil, fmt.Errorf("rap k=%d changed behaviour: %w", k, err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ircProg, err := Compile(src, Config{Allocator: AllocIRC, K: k, Lower: cfg.Lower, Trace: cfg.Trace})
+	if err != nil {
+		return nil, fmt.Errorf("irc k=%d: %w", k, err)
+	}
+	if cfg.Verify {
+		if err := verifyAllocation("irc", ref, ircProg, k, cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ircRes, err := RunContext(ctx, ircProg)
+	if err != nil {
+		return nil, fmt.Errorf("irc k=%d run: %w", k, err)
+	}
+	if err := testutil.SameBehaviour(ref.Res, ircRes); err != nil {
+		return nil, fmt.Errorf("irc k=%d changed behaviour: %w", k, err)
+	}
 	names := cfg.Funcs
 	if names == nil {
 		names = graRes.FuncNames()
 	}
 	var out []Measurement
 	for _, name := range names {
-		g, r := graRes.PerFunc[name], rapRes.PerFunc[name]
-		if g == nil || r == nil {
+		g, r, c := graRes.PerFunc[name], rapRes.PerFunc[name], ircRes.PerFunc[name]
+		if g == nil || r == nil || c == nil {
 			continue
 		}
 		out = append(out, Measurement{
-			Func: name, K: k, GRA: *g, RAP: *r,
+			Func: name, K: k, GRA: *g, RAP: *r, IRC: *c,
 			GRASpillOps: staticSpillOps(graProg.Func(name)),
 			RAPSpillOps: staticSpillOps(rapProg.Func(name)),
+			IRCSpillOps: staticSpillOps(ircProg.Func(name)),
 			GRASize:     staticSize(graProg.Func(name)),
 			RAPSize:     staticSize(rapProg.Func(name)),
+			IRCSize:     staticSize(ircProg.Func(name)),
 		})
 	}
 	return out, nil
@@ -404,9 +502,9 @@ func Compare(src string, ks []int, cfg CompareConfig) ([]Measurement, error) {
 	return CompareContext(context.Background(), src, ks, cfg)
 }
 
-// CompareContext compiles src under GRA and RAP for each register set
-// size and measures per-routine executed cycles, loads, stores and
-// copies. It verifies that both allocations preserve the unallocated
+// CompareContext compiles src under GRA, RAP and IRC for each register
+// set size and measures per-routine executed cycles, loads, stores and
+// copies. It verifies that the allocations preserve the unallocated
 // program's behaviour and returns measurements keyed in the order: for
 // each k, each measured routine sorted by name. Cancelling ctx stops
 // in-flight units at their next phase boundary and returns ctx's error.

@@ -209,6 +209,8 @@ func TestGolden(t *testing.T) {
 				{Allocator: core.AllocRAP, K: 5, Coalesce: true},
 				{Allocator: core.AllocRAP, K: 4, Rematerialize: true},
 				{Allocator: core.AllocNaive, K: 3},
+				{Allocator: core.AllocIRC, K: 3},
+				{Allocator: core.AllocIRC, K: 8},
 			} {
 				p, err := core.Compile(g.src, cfg)
 				if err != nil {

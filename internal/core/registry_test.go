@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAllocatorRegistryRoundTrip: every registered allocator parses back
+// to itself, appears in the shared names fragment, and validates with a
+// legal k — so registering a backend in allAllocators is sufficient to
+// make it reachable everywhere.
+func TestAllocatorRegistryRoundTrip(t *testing.T) {
+	allocs := core.Allocators()
+	if len(allocs) < 5 {
+		t.Fatalf("registry has %d allocators, want at least none/gra/rap/naive/irc", len(allocs))
+	}
+	names := core.AllocatorNames()
+	for _, a := range allocs {
+		got, err := core.ParseAllocator(string(a))
+		if err != nil || got != a {
+			t.Errorf("ParseAllocator(%q) = %q, %v", a, got, err)
+		}
+		if !strings.Contains(names, string(a)) {
+			t.Errorf("AllocatorNames() %q missing %q", names, a)
+		}
+		if err := (core.Config{Allocator: a, K: 5}).Validate(); err != nil {
+			t.Errorf("Config{%s, k=5}.Validate() = %v", a, err)
+		}
+	}
+	// The rejection text carries the same fragment, so help and error
+	// can never disagree about the accepted set.
+	_, err := core.ParseAllocator("linear-scan")
+	if err == nil || !strings.Contains(err.Error(), names) {
+		t.Errorf("ParseAllocator error %v does not carry AllocatorNames() %q", err, names)
+	}
+	if help := core.AllocatorFlagHelp(); !strings.Contains(help, names) {
+		t.Errorf("AllocatorFlagHelp() %q does not carry AllocatorNames() %q", help, names)
+	}
+}
+
+// TestCommandsUseAllocatorRegistry pins the CLI surface to the registry:
+// any command source that declares an allocator flag must build its help
+// text from core.AllocatorFlagHelp or core.AllocatorNames instead of
+// hand-enumerating backends, so a newly registered allocator shows up in
+// every -alloc usage string automatically.
+func TestCommandsUseAllocatorRegistry(t *testing.T) {
+	mains, err := filepath.Glob(filepath.Join("..", "..", "cmd", "*", "main.go"))
+	if err != nil || len(mains) == 0 {
+		t.Fatalf("no command sources found: %v", err)
+	}
+	flagDecls := []string{`flag.String("alloc"`, `flag.String("allocs"`, `flag.String("allocator"`}
+	found := 0
+	for _, path := range mains {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(src)
+		declares := false
+		for _, d := range flagDecls {
+			if strings.Contains(text, d) {
+				declares = true
+			}
+		}
+		if !declares {
+			continue
+		}
+		found++
+		if !strings.Contains(text, "core.AllocatorFlagHelp()") && !strings.Contains(text, "core.AllocatorNames()") {
+			t.Errorf("%s declares an allocator flag without deriving its help from the core registry", path)
+		}
+	}
+	if found < 3 {
+		t.Errorf("only %d commands declare allocator flags; expected rapcc, pdgdump, rapfuzz and raploadgen", found)
+	}
+}

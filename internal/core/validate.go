@@ -30,31 +30,34 @@ var (
 )
 
 // ParseAllocator converts a user-supplied allocator name into an
-// Allocator, rejecting anything outside the known set. The empty string
+// Allocator, rejecting anything outside the registry. The empty string
 // means AllocNone, matching Config's zero value.
 func ParseAllocator(s string) (Allocator, error) {
-	switch a := Allocator(strings.ToLower(strings.TrimSpace(s))); a {
-	case "":
+	a := Allocator(strings.ToLower(strings.TrimSpace(s)))
+	if a == "" {
 		return AllocNone, nil
-	case AllocNone, AllocGRA, AllocRAP, AllocNaive:
-		return a, nil
-	default:
-		return "", fmt.Errorf("%w %q (want none, gra, rap or naive)", ErrBadAllocator, s)
 	}
+	for _, known := range allAllocators {
+		if a == known {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("%w %q (want %s)", ErrBadAllocator, s, AllocatorNames())
 }
 
 // Validate reports whether the configuration names a runnable pipeline:
-// a known allocator, and — when the allocator assigns physical
+// a registered allocator, and — when the allocator assigns physical
 // registers — a register set size the allocators support.
 func (cfg Config) Validate() error {
-	switch cfg.Allocator {
-	case "", AllocNone:
+	if cfg.Allocator == "" || cfg.Allocator == AllocNone {
 		return nil
-	case AllocGRA, AllocRAP, AllocNaive:
-		return checkK(cfg.K)
-	default:
-		return fmt.Errorf("%w %q (want none, gra, rap or naive)", ErrBadAllocator, cfg.Allocator)
 	}
+	for _, known := range allAllocators {
+		if cfg.Allocator == known {
+			return checkK(cfg.K)
+		}
+	}
+	return fmt.Errorf("%w %q (want %s)", ErrBadAllocator, cfg.Allocator, AllocatorNames())
 }
 
 // checkK validates one register set size against the allocators' shared

@@ -18,6 +18,7 @@ func TestParseAllocator(t *testing.T) {
 		{"gra", core.AllocGRA, nil},
 		{"rap", core.AllocRAP, nil},
 		{"naive", core.AllocNaive, nil},
+		{"irc", core.AllocIRC, nil},
 		{" RAP ", core.AllocRAP, nil}, // flag values arrive untrimmed
 		{"chaitin", "", core.ErrBadAllocator},
 		{"rap,gra", "", core.ErrBadAllocator},

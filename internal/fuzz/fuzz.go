@@ -33,7 +33,8 @@ type Config struct {
 	Gen randprog.Config
 	// Ks are the register set sizes exercised (default 3, 5, 7, 9).
 	Ks []int
-	// Allocators are the strategies compared (default gra, rap, naive).
+	// Allocators are the strategies compared (default gra, rap, irc,
+	// naive).
 	Allocators []core.Allocator
 	// CaseTimeout bounds one (allocator, k) compile+run+verify unit
 	// (default 30s).
@@ -60,7 +61,7 @@ func Default() Config {
 	return Config{
 		Gen:         randprog.DefaultConfig(),
 		Ks:          []int{3, 5, 7, 9},
-		Allocators:  []core.Allocator{core.AllocGRA, core.AllocRAP, core.AllocNaive},
+		Allocators:  []core.Allocator{core.AllocGRA, core.AllocRAP, core.AllocIRC, core.AllocNaive},
 		CaseTimeout: 30 * time.Second,
 		MaxCycles:   50_000_000,
 		Verify:      true,

@@ -4,11 +4,22 @@
 // function that executed them.
 //
 // The interpreter runs both unallocated code (virtual registers) and
-// allocated code (k physical registers). Frames follow a register-window
-// convention: every activation gets a fresh register file, so a call
-// neither clobbers nor is clobbered by the caller's registers. The same
-// convention applies to both allocators under comparison, keeping the
-// evaluation fair, and mirrors the paper's per-routine measurement setup.
+// allocated code (k physical registers). Frames normally follow a
+// register-window convention: every activation gets a fresh register
+// file, so a call neither clobbers nor is clobbered by the caller's
+// registers. The same convention applies to both window allocators under
+// comparison, keeping the evaluation fair, and mirrors the paper's
+// per-routine measurement setup.
+//
+// Functions marked ir.Function.ABI instead share ONE physical register
+// file across the whole call stack: a call really executes in the same
+// registers as its caller, and after every call from an ABI function the
+// caller-save half of the file is poisoned with ir.ClobberPoison (the
+// return value then lands in ir.RetReg). An allocation that leaves a
+// live value in a caller-save register across a call, or a callee that
+// fails to save/restore a callee-save register, therefore computes
+// observably wrong results instead of being silently forgiven by the
+// window convention. Spill slots stay per-activation.
 package interp
 
 import (
@@ -99,6 +110,10 @@ type machine struct {
 	// the callee's parameter count (memory-style argument passing, so a
 	// call never needs all arguments in registers at once).
 	argStack []int64
+	// physRegs is the shared physical register file used by ABI
+	// functions, sized once at Run for the largest ABI register set in
+	// the program (so activations alias a stable slice across recursion).
+	physRegs []int64
 	ctx      context.Context
 	// ctxCheck counts down cycles to the next context poll (polling every
 	// cycle would put two atomic loads on the hot path).
@@ -134,6 +149,13 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	for a, v := range p.GlobalInit {
 		m.mem[a] = v
 	}
+	maxABI := 0
+	for _, f := range p.Funcs {
+		if f.ABI && f.Allocated && f.K+1 > maxABI {
+			maxABI = f.K + 1
+		}
+	}
+	m.physRegs = make([]int64, maxABI)
 	span := opts.Tracer.StartSpan("interp")
 	ret, err := m.call(main, nil)
 	span.End()
@@ -203,7 +225,14 @@ func (m *machine) call(f *ir.Function, args []int64) (int64, error) {
 	if f.Allocated {
 		nregs = f.K + 1
 	}
-	regs := make([]int64, nregs)
+	var regs []int64
+	if f.ABI && f.Allocated {
+		// ABI code runs on the shared physical file: the callee sees (and
+		// may clobber) the caller's registers, exactly like real hardware.
+		regs = m.physRegs[:nregs]
+	} else {
+		regs = make([]int64, nregs)
+	}
 	// Validate register operands up front so malformed (or
 	// mis-allocated) code yields an error rather than a panic.
 	var buf []ir.Reg
@@ -487,6 +516,14 @@ func (m *machine) call(f *ir.Function, args []int64) (int64, error) {
 			rv, err := m.call(callee, vals)
 			if err != nil {
 				return 0, err
+			}
+			if f.ABI && f.Allocated {
+				// The call clobbered every caller-save register; make the
+				// damage deterministic so bad allocations fail identically
+				// regardless of what the callee happened to compute.
+				for c := 1; c <= ir.CallerSaveCount(f.K); c++ {
+					regs[c] = ir.ClobberPoison
+				}
 			}
 			if in.Dst != ir.None {
 				regs[in.Dst] = rv

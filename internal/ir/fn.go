@@ -92,6 +92,11 @@ type Function struct {
 	K int
 	// SpillSlots is the number of spill slots the frame reserves.
 	SpillSlots int
+	// ABI is true when the allocated body follows the physical call ABI
+	// (see abi.go): calls clobber the caller-save registers, return
+	// values travel in RetReg, and the interpreter runs the function on
+	// the shared physical register file instead of a register window.
+	ABI bool
 }
 
 // NewReg returns a fresh virtual register.
@@ -284,6 +289,9 @@ func (f *Function) String() string {
 	fmt.Fprintf(&b, "func %s params=%d locals=%d", f.Name, f.NumParams, f.LocalWords)
 	if f.Allocated {
 		fmt.Fprintf(&b, " k=%d spills=%d", f.K, f.SpillSlots)
+		if f.ABI {
+			b.WriteString(" abi=1")
+		}
 	}
 	b.WriteString("\n")
 	for _, in := range f.Instrs {

@@ -84,6 +84,8 @@ func parseFunc(lines []string, start int) (*Function, int, error) {
 			f.Allocated = true
 		case "spills":
 			f.SpillSlots = int(n)
+		case "abi":
+			f.ABI = n != 0
 		default:
 			return nil, 0, fmt.Errorf("line %d: unknown header field %q", start+1, parts[0])
 		}

@@ -150,7 +150,7 @@ func Allocate(f *ir.Function, k int, opts Options) error {
 			m.Add("gra.regs_spilled", int64(len(spilled)))
 			m.Add("gra.rematerialized", int64(len(remat)))
 		}
-		spillEverywhere(f, sp, spilled)
+		regalloc.SpillEverywhere(f, sp, spilled)
 		stopSpill()
 	}
 	return fmt.Errorf("chaitin: %s: no colouring after %d iterations", f.Name, maxIter)
@@ -188,37 +188,4 @@ func countRefs(f *ir.Function) map[ir.Reg]int {
 		}
 	}
 	return refs
-}
-
-// spillEverywhere implements Chaitin-style spilling for a load/store
-// architecture (§2.1): a load is inserted before every use of a spilled
-// register and a store after every definition, with each reference renamed
-// to a fresh short-lived temporary.
-func spillEverywhere(f *ir.Function, sp *regalloc.Spiller, spilled map[ir.Reg]bool) {
-	edit := regalloc.NewEdit()
-	for i, in := range f.Instrs {
-		perInstr := map[ir.Reg]ir.Reg{}
-		in.RewriteUses(func(r ir.Reg) ir.Reg {
-			if !spilled[r] {
-				return r
-			}
-			if t, ok := perInstr[r]; ok {
-				return t
-			}
-			t := sp.NewTemp(r)
-			perInstr[r] = t
-			edit.InsertBefore(i, &ir.Instr{
-				Op: ir.OpLdSpill, Imm: sp.SlotOf(r), Dst: t, Region: in.Region,
-			})
-			return t
-		})
-		if d := in.Def(); d != ir.None && spilled[d] {
-			t := sp.NewTemp(d)
-			in.SetDef(t)
-			edit.InsertAfter(i, &ir.Instr{
-				Op: ir.OpStSpill, Src1: t, Imm: sp.SlotOf(d), Region: in.Region,
-			})
-		}
-	}
-	edit.Apply(f)
 }

@@ -1,0 +1,236 @@
+package irc_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/obs"
+	"repro/internal/regalloc"
+	"repro/internal/regalloc/irc"
+	"repro/internal/testutil"
+	"repro/internal/verify"
+)
+
+// programs used for differential testing across register set sizes.
+var programs = map[string]string{
+	"straightline": `
+int main() {
+	int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+	int f = a + b; int g = c + d; int h = e + f; int i = g + h;
+	print(a + b + c + d + e + f + g + h + i);
+	return 0;
+}`,
+	"pressure": `
+int main() {
+	int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+	int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+	int s1 = a*b + c*d; int s2 = e*f + g*h; int s3 = i*j + a*c;
+	int s4 = b*d + e*g; int s5 = f*h + i*a;
+	print(s1); print(s2); print(s3); print(s4); print(s5);
+	print(a+b+c+d+e+f+g+h+i+j);
+	print(s1+s2+s3+s4+s5);
+	return s1 - s2;
+}`,
+	"loops": `
+int main() {
+	int i; int j; int acc = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		for (j = 0; j < 10; j = j + 1) {
+			if ((i + j) % 3 == 0) { acc = acc + i * j; }
+			else { acc = acc - 1; }
+		}
+	}
+	print(acc);
+	return acc % 100;
+}`,
+	"calls": `
+int square(int x) { return x * x; }
+int sumsq(int n) {
+	int i; int s = 0;
+	for (i = 1; i <= n; i = i + 1) { s = s + square(i); }
+	return s;
+}
+int main() {
+	print(sumsq(10));
+	return 0;
+}`,
+	"recursion": `
+int ack(int m, int n) {
+	if (m == 0) { return n + 1; }
+	if (n == 0) { return ack(m - 1, 1); }
+	return ack(m - 1, ack(m, n - 1));
+}
+int main() {
+	print(ack(2, 3));
+	return 0;
+}`,
+	"liveacross": `
+int id(int x) { return x; }
+int main() {
+	int a = 11; int b = 7;
+	int c = id(a);
+	int d = id(b);
+	print(a + b + c + d);
+	return 0;
+}`,
+}
+
+func allocate(t *testing.T, src string, k int, opts irc.Options) (*ir.Program, *ir.Program) {
+	t.Helper()
+	p, err := testutil.Compile(src, lower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := testutil.AllocateFunc(p, func(f *ir.Function) error {
+		return irc.Allocate(f, k, opts)
+	})
+	if err != nil {
+		t.Fatalf("k=%d: %v", k, err)
+	}
+	return p, alloc
+}
+
+// TestIRCDifferential: every allocation preserves behaviour, passes the
+// physical-code check, and passes the independent static verifier
+// (whose ABI mode exercises the clobber, precolor and callee-save
+// proofs).
+func TestIRCDifferential(t *testing.T) {
+	for name, src := range programs {
+		t.Run(name, func(t *testing.T) {
+			p, err := testutil.Compile(src, lower.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := testutil.Run(p)
+			if err != nil {
+				t.Fatalf("virtual run: %v", err)
+			}
+			for _, k := range []int{3, 4, 5, 7, 9, 16} {
+				_, alloc := allocate(t, src, k, irc.Options{})
+				for _, f := range alloc.Funcs {
+					if err := regalloc.CheckPhysical(f); err != nil {
+						t.Fatalf("k=%d: %v", k, err)
+					}
+					if !f.ABI {
+						t.Fatalf("k=%d: %s not marked ABI", k, f.Name)
+					}
+				}
+				if err := verify.Program(p, alloc, k, verify.Options{}); err != nil {
+					t.Fatalf("k=%d verify: %v", k, err)
+				}
+				got, err := testutil.Run(alloc)
+				if err != nil {
+					t.Fatalf("k=%d run: %v", k, err)
+				}
+				if err := testutil.SameBehaviour(ref, got); err != nil {
+					t.Errorf("k=%d: %v", k, err)
+				}
+			}
+		})
+	}
+}
+
+// TestIRCPinnedCallContract: after allocation every call result lands in
+// RetReg and every return operand reads RetReg — the precolored contract
+// the routeThroughABI pre-pass pins and coalescing must not undo.
+func TestIRCPinnedCallContract(t *testing.T) {
+	_, alloc := allocate(t, programs["calls"], 5, irc.Options{})
+	calls, rets := 0, 0
+	for _, f := range alloc.Funcs {
+		for _, in := range f.Instrs {
+			switch in.Op {
+			case ir.OpCall:
+				calls++
+				if in.Dst != ir.None && in.Dst != ir.RetReg {
+					t.Errorf("%s: call result in %s, want %s", f.Name, in.Dst, ir.RetReg)
+				}
+			case ir.OpRet:
+				rets++
+				if in.Src1 != ir.None && in.Src1 != ir.RetReg {
+					t.Errorf("%s: return value in %s, want %s", f.Name, in.Src1, ir.RetReg)
+				}
+			}
+		}
+	}
+	if calls == 0 || rets == 0 {
+		t.Fatalf("test program exercised %d calls, %d rets", calls, rets)
+	}
+}
+
+// TestIRCCoalescesABICopies: the pre-pass inserts a move at every call
+// and return; iterated coalescing must fold at least some of them away
+// (counted by irc.moves_coalesced).
+func TestIRCCoalescesABICopies(t *testing.T) {
+	m := obs.NewMetrics()
+	tr := obs.New().WithMetrics(m)
+	allocate(t, programs["calls"], 5, irc.Options{Trace: tr})
+	snap := m.Snapshot()
+	if snap.Counters["irc.moves_coalesced"] == 0 {
+		t.Error("no moves coalesced on a call-heavy program")
+	}
+	if snap.Counters["irc.funcs_allocated"] == 0 {
+		t.Error("irc.funcs_allocated not counted")
+	}
+}
+
+// TestIRCDeterministic: the same input allocates to byte-identical
+// output on repeated runs.
+func TestIRCDeterministic(t *testing.T) {
+	texts := map[string]bool{}
+	for trial := 0; trial < 5; trial++ {
+		_, alloc := allocate(t, programs["recursion"], 4, irc.Options{})
+		texts[alloc.String()] = true
+	}
+	if len(texts) != 1 {
+		t.Errorf("allocation is nondeterministic: %d distinct outputs", len(texts))
+	}
+}
+
+// TestIRCSpillsUnderPressure: a tight register set forces the rebuild
+// loop through an actual-spill round and the result carries spill code.
+func TestIRCSpillsUnderPressure(t *testing.T) {
+	m := obs.NewMetrics()
+	tr := obs.New().WithMetrics(m)
+	_, alloc := allocate(t, programs["pressure"], 3, irc.Options{Trace: tr})
+	spillOps := 0
+	for _, f := range alloc.Funcs {
+		for _, in := range f.Instrs {
+			if in.Op == ir.OpLdSpill || in.Op == ir.OpStSpill {
+				spillOps++
+			}
+		}
+	}
+	if spillOps == 0 {
+		t.Error("no spill code at k=3 on the pressure program")
+	}
+	if m.Snapshot().Counters["irc.spill_rounds"] == 0 {
+		t.Error("irc.spill_rounds not counted")
+	}
+}
+
+// TestIRCCalleeSavePrologue: a recursive routine holding a value across
+// its own call must save a callee-save register on entry and restore it
+// before returning.
+func TestIRCCalleeSavePrologue(t *testing.T) {
+	_, alloc := allocate(t, programs["liveacross"], 6, irc.Options{})
+	found := false
+	for _, f := range alloc.Funcs {
+		if len(f.Instrs) == 0 {
+			continue
+		}
+		if in := f.Instrs[0]; in.Op == ir.OpStSpill && ir.IsCalleeSave(in.Src1, f.K) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no function saves a callee-save register in its prologue")
+	}
+}
+
+func TestIRCRejectsTinyK(t *testing.T) {
+	p := testutil.MustCompile(`int main() { return 0; }`)
+	if err := irc.Allocate(p.Funcs[0], 2, irc.Options{}); err == nil {
+		t.Error("expected error for k=2")
+	}
+}

@@ -156,6 +156,39 @@ func (e *Edit) Apply(f *ir.Function) {
 	f.Instrs = out
 }
 
+// SpillEverywhere implements Chaitin-style spilling for a load/store
+// architecture (§2.1): a load is inserted before every use of a spilled
+// register and a store after every definition, with each reference renamed
+// to a fresh short-lived temporary. Shared by the GRA and IRC backends.
+func SpillEverywhere(f *ir.Function, sp *Spiller, spilled map[ir.Reg]bool) {
+	edit := NewEdit()
+	for i, in := range f.Instrs {
+		perInstr := map[ir.Reg]ir.Reg{}
+		in.RewriteUses(func(r ir.Reg) ir.Reg {
+			if !spilled[r] {
+				return r
+			}
+			if t, ok := perInstr[r]; ok {
+				return t
+			}
+			t := sp.NewTemp(r)
+			perInstr[r] = t
+			edit.InsertBefore(i, &ir.Instr{
+				Op: ir.OpLdSpill, Imm: sp.SlotOf(r), Dst: t, Region: in.Region,
+			})
+			return t
+		})
+		if d := in.Def(); d != ir.None && spilled[d] {
+			t := sp.NewTemp(d)
+			in.SetDef(t)
+			edit.InsertAfter(i, &ir.Instr{
+				Op: ir.OpStSpill, Src1: t, Imm: sp.SlotOf(d), Region: in.Region,
+			})
+		}
+	}
+	edit.Apply(f)
+}
+
 // RewriteToPhysical replaces every register with its node's colour and
 // marks the function allocated. It fails if any referenced register has
 // no coloured node.

@@ -86,3 +86,22 @@ func TestCacheKey(t *testing.T) {
 		seen[k] = name
 	}
 }
+
+// TestCacheKeyDistinguishesAllocators: the allocator is part of the
+// job's content address for every registered backend, so (say) an irc
+// result can never be served from a gra job's cache or artifact slot, on
+// one worker or across the fleet ring.
+func TestCacheKeyDistinguishesAllocators(t *testing.T) {
+	seen := map[string]core.Allocator{}
+	for _, ac := range core.Allocators() {
+		j := serve.Job{Source: goodSrc, Allocator: string(ac), K: 5}
+		key := j.CacheKey()
+		if prev, dup := seen[key]; dup {
+			t.Errorf("allocators %q and %q share a cache key", prev, ac)
+		}
+		seen[key] = ac
+	}
+	if len(seen) != len(core.Allocators()) {
+		t.Errorf("%d distinct keys for %d allocators", len(seen), len(core.Allocators()))
+	}
+}

@@ -1,0 +1,135 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/verify"
+)
+
+// The ABI mutation self-tests: hand-written (original, allocated) pairs
+// at k=4, where the caller-save set is {r1, r2} and the callee-save set
+// is {r3, r4}. abiOrig holds a value (virtual r1) live across a call —
+// the allocated variants differ only in where they keep it and whether
+// they honour the precolored and callee-save contracts.
+const abiOrig = `
+func f
+	loadI 5 => r1
+	call g() => r2
+	add r1, r2 => r3
+	ret r3
+end`
+
+func parsePair(t *testing.T, orig, alloc string) (*ir.Function, *ir.Function) {
+	t.Helper()
+	of, err := ir.ParseFunction(orig)
+	if err != nil {
+		t.Fatalf("orig: %v", err)
+	}
+	af, err := ir.ParseFunction(alloc)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	return of, af
+}
+
+// TestVerifyABIGoodAllocation: the control — a conforming ABI allocation
+// (call result in RetReg, the value crossing the call parked in a saved
+// callee-save register) passes every check.
+func TestVerifyABIGoodAllocation(t *testing.T) {
+	of, af := parsePair(t, abiOrig, `
+func f k=4 spills=1 abi=1
+	sts r3 => 0
+	loadI 5 => r3
+	call g() => r1
+	add r3, r1 => r1
+	lds 0 => r3
+	ret r1
+end`)
+	if err := verify.Function(of, af, 4, verify.Options{}); err != nil {
+		t.Fatalf("conforming ABI allocation rejected: %v", err)
+	}
+}
+
+// TestVerifyABIFlagsCallerSaveAcrossCall: mutation (a) — the value live
+// across the call sits in caller-save r2, which the call clobbers. The
+// fact dataflow's call transfer must flag it.
+func TestVerifyABIFlagsCallerSaveAcrossCall(t *testing.T) {
+	of, af := parsePair(t, abiOrig, `
+func f k=4 abi=1
+	loadI 5 => r2
+	call g() => r1
+	add r2, r1 => r1
+	ret r1
+end`)
+	err := verify.Function(of, af, 4, verify.Options{})
+	if err == nil {
+		t.Fatal("caller-save value across a call not flagged")
+	}
+	if !strings.Contains(err.Error(), "caller-save") {
+		t.Errorf("unexpected diagnostic: %v", err)
+	}
+}
+
+// TestVerifyABIFlagsPrecoloredViolation: mutation (b) — the call result
+// lands in r2 instead of the precolored return register. checkABI's
+// structural contract must flag it.
+func TestVerifyABIFlagsPrecoloredViolation(t *testing.T) {
+	of, af := parsePair(t, abiOrig, `
+func f k=4 spills=1 abi=1
+	sts r3 => 0
+	loadI 5 => r3
+	call g() => r2
+	add r3, r2 => r1
+	lds 0 => r3
+	ret r1
+end`)
+	err := verify.Function(of, af, 4, verify.Options{})
+	if err == nil {
+		t.Fatal("call result outside RetReg not flagged")
+	}
+	if !strings.Contains(err.Error(), "the ABI requires r1") {
+		t.Errorf("unexpected diagnostic: %v", err)
+	}
+}
+
+// TestVerifyABIFlagsUnsavedCalleeSave: mutation (c) — the body writes
+// callee-save r3 with no prologue save, breaking the preservation
+// guarantee every caller's proof assumes.
+func TestVerifyABIFlagsUnsavedCalleeSave(t *testing.T) {
+	of, af := parsePair(t, abiOrig, `
+func f k=4 abi=1
+	loadI 5 => r3
+	call g() => r1
+	add r3, r1 => r1
+	ret r1
+end`)
+	err := verify.Function(of, af, 4, verify.Options{})
+	if err == nil {
+		t.Fatal("unsaved callee-save write not flagged")
+	}
+	if !strings.Contains(err.Error(), "without saving it") {
+		t.Errorf("unexpected diagnostic: %v", err)
+	}
+}
+
+// TestVerifyABIFlagsMissingRestore: a return that skips the restore of a
+// saved callee-save register must be flagged.
+func TestVerifyABIFlagsMissingRestore(t *testing.T) {
+	of, af := parsePair(t, abiOrig, `
+func f k=4 spills=1 abi=1
+	sts r3 => 0
+	loadI 5 => r3
+	call g() => r1
+	add r3, r1 => r1
+	ret r1
+end`)
+	err := verify.Function(of, af, 4, verify.Options{})
+	if err == nil {
+		t.Fatal("missing callee-save restore not flagged")
+	}
+	if !strings.Contains(err.Error(), "does not restore") {
+		t.Errorf("unexpected diagnostic: %v", err)
+	}
+}

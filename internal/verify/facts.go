@@ -157,6 +157,9 @@ func (d *factFlow) step(st *factState, i int, check bool) {
 		if check {
 			d.checkUses(st, i, o, in)
 		}
+		if in.Op == ir.OpCall && d.v.alloc.ABI {
+			d.abiCallClobber(st, i, in, check)
+		}
 		do, da := o.Def(), in.Def()
 		switch {
 		case (do == ir.None) != (da == ir.None):
@@ -289,6 +292,15 @@ func (v *fnVerifier) checkFacts(g *cfg.Graph, al *alignment) {
 		// optimistic top elsewhere, shrunk by meets to the greatest
 		// fixpoint of this must-analysis.
 		in[b] = fullState(nLocs, nRegs)
+	}
+	if v.alloc.ABI {
+		// ABI entry condition: spill slots are still per-activation (zeroed,
+		// so they hold every register's value), but the shared physical
+		// registers hold the caller's garbage and therefore no value.
+		entry := in[g.Blocks[0].ID]
+		for l := 0; l < v.k && l < len(entry.locs); l++ {
+			entry.locs[l].Clear()
+		}
 	}
 	rpo := g.ReversePostorder()
 	for changed := true; changed; {

@@ -99,6 +99,9 @@ func Program(orig, alloc *ir.Program, k int, opts Options) error {
 func Function(orig, alloc *ir.Function, k int, opts Options) error {
 	v := &fnVerifier{orig: orig, alloc: alloc, k: k, opts: opts}
 	v.checkStructure()
+	if alloc.ABI {
+		v.checkABI()
+	}
 	v.checkKBound()
 	if len(v.errs) > 0 {
 		// Registers out of range would index the fact table out of

@@ -41,6 +41,7 @@ func TestVerifyBenchSuite(t *testing.T) {
 		{"gra", core.Config{Allocator: core.AllocGRA}},
 		{"rap", core.Config{Allocator: core.AllocRAP}},
 		{"naive", core.Config{Allocator: core.AllocNaive}},
+		{"irc", core.Config{Allocator: core.AllocIRC}},
 		{"gra+peephole", core.Config{Allocator: core.AllocGRA, GRAPeephole: true}},
 		{"rap-merged", core.Config{Allocator: core.AllocRAP, Lower: lower.Options{MergeStatements: true}}},
 		{"rap-coalesce", core.Config{Allocator: core.AllocRAP, Coalesce: true}},
